@@ -1,0 +1,104 @@
+// Command concordia-sim runs a single vRAN collocation scenario and prints
+// the full report: reliability, latency tails, reclaimed CPU, scheduling
+// events, and collocated workload throughput.
+//
+// Usage:
+//
+//	concordia-sim -config 20mhz -cells 7 -cores 8 -sched concordia \
+//	              -workload redis -load 0.25 -duration 60 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"concordia"
+	"concordia/internal/traffic"
+	"concordia/internal/workloads"
+)
+
+func main() {
+	config := flag.String("config", "20mhz", "cell class: 20mhz, 100mhz or lte")
+	cells := flag.Int("cells", 7, "number of cells")
+	cores := flag.Int("cores", 8, "vRAN pool cores")
+	sched := flag.String("sched", "concordia", "scheduler: concordia, flexran, shenango, utilization")
+	workload := flag.String("workload", "isolated", "collocated workload: isolated, redis, nginx, tpcc, mlperf, mix")
+	load := flag.Float64("load", 0.5, "cell traffic load (0,1]")
+	duration := flag.Float64("duration", 60, "simulated seconds")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	useAccel := flag.Bool("accel", false, "offload LDPC to the modeled FPGA")
+	includeMAC := flag.Bool("mac", false, "multiplex the MAC-layer extension DAGs (§7)")
+	tracePath := flag.String("trace", "", "CSV trace (tracegen format) to replay for both directions")
+	traceScale := flag.Float64("trace-scale", 1, "volume multiplier for replayed traces")
+	minCores := flag.Bool("min-cores", false, "search for the minimum core count first")
+	flag.Parse()
+
+	var cfg concordia.Config
+	switch *config {
+	case "20mhz":
+		cfg = concordia.Scenario20MHz(*cells, *cores)
+	case "100mhz":
+		cfg = concordia.Scenario100MHz(*cells, *cores)
+	case "lte":
+		cfg = concordia.ScenarioLTE(*cells, *cores)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
+		os.Exit(2)
+	}
+	cfg.Scheduler = concordia.SchedulerKind(*sched)
+	cfg.Load = *load
+	cfg.Seed = *seed
+	cfg.UseAccel = *useAccel
+	wl, ok := map[string]concordia.WorkloadKind{
+		"isolated": concordia.Isolated, "redis": concordia.Redis,
+		"nginx": concordia.Nginx, "tpcc": concordia.TPCC,
+		"mlperf": concordia.MLPerf, "mix": concordia.Mix,
+	}[*workload]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	cfg.Workload = wl
+	cfg.IncludeMAC = *includeMAC
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		tr, err := traffic.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		cfg.ULTrace, cfg.DLTrace = tr, tr
+		cfg.TraceScale = *traceScale
+	}
+
+	if *minCores {
+		n, err := concordia.MinimumCores(cfg, 16, 0.9999, concordia.Seconds(10))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("minimum cores: %d\n", n)
+		cfg.PoolCores = n
+	}
+
+	sys, err := concordia.NewSystem(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	rep := sys.Run(concordia.Seconds(*duration))
+	fmt.Print(rep)
+	if wl != concordia.Isolated && wl != concordia.Mix {
+		p, _ := workloads.ProfileOf(wl)
+		achieved := rep.WorkloadThroughput(wl)
+		ideal := p.Ideal(cfg.PoolCores, *duration)
+		fmt.Printf("workload        %s: %.0f %s (%.1f%% of no-vRAN ideal)\n",
+			wl, achieved / *duration, p.Unit, 100*achieved/ideal)
+	}
+}

@@ -1,0 +1,61 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated platform and prints them as text tables.
+//
+// Usage:
+//
+//	experiments [-seed N] [-scale F] [-list] [name ...]
+//
+// With no names, every experiment runs in order. Scale 1.0 runs
+// full-quality durations; smaller values trade statistical depth for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"concordia/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	scale := flag.Float64("scale", 0.25, "duration scale (1.0 = full experiment quality)")
+	training := flag.Int("training", 0, "offline profiling TTIs (0 = default)")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	csvDir := flag.String("csv", "", "also write raw data series as <dir>/<name>.csv where supported")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names {
+			fmt.Println(n)
+		}
+		return
+	}
+	o := experiments.Options{Seed: *seed, Scale: *scale, TrainingSlots: *training}
+	names := flag.Args()
+	if len(names) == 0 {
+		names = experiments.Names
+	}
+	for _, name := range names {
+		if err := experiments.Run(name, o, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			err = experiments.RunCSV(name, o, f)
+			f.Close()
+			if err != nil {
+				os.Remove(path) // experiment has no CSV form
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
+	}
+}

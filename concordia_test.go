@@ -1,0 +1,86 @@
+package concordia_test
+
+import (
+	"strings"
+	"testing"
+
+	"concordia"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	cfg := concordia.Scenario20MHz(2, 4)
+	cfg.Workload = concordia.Redis
+	cfg.Load = 0.25
+	cfg.Seed = 1
+	cfg.TrainingSlots = 500
+	sys, err := concordia.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(concordia.Seconds(2))
+	if rep.DAGsCompleted == 0 {
+		t.Fatal("no slots processed")
+	}
+	if rep.Reliability() < 0.999 {
+		t.Fatalf("reliability %.5f", rep.Reliability())
+	}
+	if !strings.Contains(rep.String(), "reclaimed") {
+		t.Fatal("report summary incomplete")
+	}
+}
+
+func TestPublicMinimumCores(t *testing.T) {
+	cfg := concordia.Scenario20MHz(1, 0)
+	cfg.Load = 0.3
+	cfg.Seed = 2
+	cfg.TrainingSlots = 400
+	n, err := concordia.MinimumCores(cfg, 6, 0.999, concordia.Seconds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 || n > 6 {
+		t.Fatalf("minimum cores %d", n)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if concordia.Seconds(1) != concordia.Milliseconds(1000) {
+		t.Fatal("seconds/milliseconds mismatch")
+	}
+	if concordia.Milliseconds(1) != concordia.Microseconds(1000) {
+		t.Fatal("milliseconds/microseconds mismatch")
+	}
+}
+
+func TestSchedulerKinds(t *testing.T) {
+	for _, k := range []concordia.SchedulerKind{
+		concordia.SchedConcordia, concordia.SchedFlexRAN,
+		concordia.SchedShenango, concordia.SchedUtilization,
+	} {
+		cfg := concordia.Scenario20MHz(1, 2)
+		cfg.Scheduler = k
+		cfg.Seed = 3
+		cfg.TrainingSlots = 300
+		sys, err := concordia.NewSystem(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if rep := sys.Run(concordia.Seconds(1)); rep.Slots == 0 {
+			t.Fatalf("%v ran no slots", k)
+		}
+	}
+}
+
+func TestPublicLTEScenario(t *testing.T) {
+	cfg := concordia.ScenarioLTE(2, 3)
+	cfg.Seed = 5
+	cfg.TrainingSlots = 400
+	cfg.Load = 0.2
+	sys, err := concordia.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := sys.Run(concordia.Seconds(1)); rep.DAGsCompleted == 0 {
+		t.Fatal("LTE scenario processed nothing")
+	}
+}

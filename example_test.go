@@ -1,0 +1,30 @@
+package concordia_test
+
+import (
+	"fmt"
+
+	"concordia"
+)
+
+// Example demonstrates the core workflow: configure a deployment, train the
+// WCET predictors offline, run with a collocated workload, and read the
+// reliability and reclaim results.
+func Example() {
+	cfg := concordia.Scenario20MHz(2, 4) // 2 cells, 4-core pool
+	cfg.Workload = concordia.Redis
+	cfg.Load = 0.25
+	cfg.Seed = 1
+	cfg.TrainingSlots = 500 // small offline phase for example speed
+
+	sys, err := concordia.NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	rep := sys.Run(concordia.Seconds(2))
+
+	fmt.Printf("met deadlines: %v\n", rep.Misses == 0)
+	fmt.Printf("reclaimed more than half the pool: %v\n", rep.ReclaimedFraction() > 0.5)
+	// Output:
+	// met deadlines: true
+	// reclaimed more than half the pool: true
+}

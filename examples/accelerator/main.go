@@ -1,0 +1,37 @@
+// Accelerator: the §7 extension — offload LDPC encode/decode to the modeled
+// FPGA and observe the Table 3/4 effects: fewer CPU cores, persistent
+// underutilization, and worker blocking time while offloads are in flight.
+package main
+
+import (
+	"fmt"
+
+	"concordia"
+	"concordia/internal/ran"
+)
+
+func main() {
+	for _, useAccel := range []bool{false, true} {
+		cfg := concordia.Scenario100MHz(1, 4)
+		cfg.UseAccel = useAccel
+		cfg.Load = 1.0
+		cfg.Seed = 13
+
+		sys, err := concordia.NewSystem(cfg)
+		if err != nil {
+			panic(err)
+		}
+		rep := sys.Run(concordia.Seconds(20))
+		mode := "software LDPC"
+		if useAccel {
+			mode = "FPGA-offloaded LDPC"
+		}
+		fmt.Printf("=== %s ===\n", mode)
+		fmt.Printf("reliability         %.5f%%\n", 100*rep.Reliability())
+		fmt.Printf("pool utilization    %.1f%%\n", 100*rep.RANUtilization())
+		fmt.Printf("uplink   CPU %v / total %v per slot\n",
+			rep.AvgCPUPerDAG(ran.Uplink), rep.AvgMakespanPerDAG(ran.Uplink))
+		fmt.Printf("downlink CPU %v / total %v per slot\n\n",
+			rep.AvgCPUPerDAG(ran.Downlink), rep.AvgMakespanPerDAG(ran.Downlink))
+	}
+}

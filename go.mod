@@ -1,0 +1,3 @@
+module concordia
+
+go 1.22

@@ -1,0 +1,97 @@
+package accel
+
+import (
+	"testing"
+
+	"concordia/internal/ran"
+	"concordia/internal/sim"
+)
+
+func TestOffloadsOnlyLDPC(t *testing.T) {
+	a := DefaultFPGA()
+	if !a.Offloads(ran.TaskLDPCDecode) || !a.Offloads(ran.TaskLDPCEncode) {
+		t.Fatal("FPGA must offload LDPC encode and decode")
+	}
+	if a.Offloads(ran.TaskChannelEstimation) || a.Offloads(ran.TaskPrecoding) {
+		t.Fatal("FPGA must not offload other kinds")
+	}
+}
+
+func TestSubmitErrNotOffloadable(t *testing.T) {
+	a := DefaultFPGA()
+	if _, err := a.Submit(0, ran.TaskModulation, 3); err != ErrNotOffloadable {
+		t.Fatalf("got %v want ErrNotOffloadable", err)
+	}
+}
+
+func TestSubmitSingleLane(t *testing.T) {
+	a := New(1, sim.FromUs(10), sim.FromUs(1))
+	// Two back-to-back 2-codeblock decodes serialize on one lane.
+	d1, err := a.Submit(0, ran.TaskLDPCDecode, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != sim.FromUs(20) {
+		t.Fatalf("first completion %v want 20us", d1)
+	}
+	d2, _ := a.Submit(0, ran.TaskLDPCDecode, 2)
+	if d2 != sim.FromUs(40) {
+		t.Fatalf("queued completion %v want 40us", d2)
+	}
+}
+
+func TestSubmitParallelLanes(t *testing.T) {
+	a := New(2, sim.FromUs(10), sim.FromUs(1))
+	d1, _ := a.Submit(0, ran.TaskLDPCDecode, 2)
+	d2, _ := a.Submit(0, ran.TaskLDPCDecode, 2)
+	if d1 != d2 || d1 != sim.FromUs(20) {
+		t.Fatalf("two lanes should complete in parallel: %v %v", d1, d2)
+	}
+	d3, _ := a.Submit(0, ran.TaskLDPCDecode, 2)
+	if d3 != sim.FromUs(40) {
+		t.Fatalf("third request should queue: %v", d3)
+	}
+}
+
+func TestEncodeCheaperThanDecode(t *testing.T) {
+	a := DefaultFPGA()
+	dec := a.Expected(ran.TaskLDPCDecode, 10)
+	enc := a.Expected(ran.TaskLDPCEncode, 10)
+	if enc >= dec {
+		t.Fatalf("encode %v should be cheaper than decode %v", enc, dec)
+	}
+}
+
+func TestSubmitAfterIdle(t *testing.T) {
+	a := New(1, sim.FromUs(10), sim.FromUs(1))
+	// Request at t=100µs on an idle device starts immediately.
+	d, _ := a.Submit(sim.FromUs(100), ran.TaskLDPCDecode, 1)
+	if d != sim.FromUs(110) {
+		t.Fatalf("completion %v want 110us", d)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	a := New(2, sim.FromUs(10), sim.FromUs(1))
+	a.Submit(0, ran.TaskLDPCDecode, 5) // 50µs busy
+	if u := a.Utilization(sim.FromUs(100)); u < 0.24 || u > 0.26 {
+		t.Fatalf("utilization %v want 0.25 (50µs of 200 lane-µs)", u)
+	}
+	if a.Utilization(0) != 0 {
+		t.Fatal("zero elapsed must give zero utilization")
+	}
+}
+
+func TestZeroCodeblocksClamped(t *testing.T) {
+	a := DefaultFPGA()
+	if v := a.Expected(ran.TaskLDPCDecode, 0); v <= 0 {
+		t.Fatal("zero codeblocks should clamp to one")
+	}
+}
+
+func BenchmarkSubmit(b *testing.B) {
+	a := DefaultFPGA()
+	for i := 0; i < b.N; i++ {
+		_, _ = a.Submit(sim.Time(i)*sim.Microsecond, ran.TaskLDPCDecode, 5)
+	}
+}

@@ -1,0 +1,352 @@
+// Package core assembles the complete Concordia system: the offline
+// profiling and training pipeline (Algorithm 1 per signal-processing task),
+// the per-task quantile-tree predictor set, and the vRAN pool with the
+// chosen scheduler, traffic, platform and collocated workloads. It is the
+// integration layer the public concordia package and the experiment harness
+// build on.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"concordia/internal/accel"
+	"concordia/internal/costmodel"
+	"concordia/internal/platform"
+	"concordia/internal/pool"
+	"concordia/internal/predictor"
+	"concordia/internal/ran"
+	"concordia/internal/rng"
+	"concordia/internal/scheduler"
+	"concordia/internal/sim"
+	"concordia/internal/traffic"
+	"concordia/internal/workloads"
+)
+
+// SchedulerKind selects the core-allocation policy.
+type SchedulerKind string
+
+// Supported policies.
+const (
+	SchedConcordia   SchedulerKind = "concordia"
+	SchedFlexRAN     SchedulerKind = "flexran"
+	SchedShenango    SchedulerKind = "shenango"
+	SchedUtilization SchedulerKind = "utilization"
+)
+
+// Config describes one Concordia deployment scenario.
+type Config struct {
+	Cells     []ran.CellConfig
+	PoolCores int
+	Scheduler SchedulerKind
+	// ShenangoThreshold is the queueing-delay threshold for the Shenango
+	// baseline (default 25 µs).
+	ShenangoThreshold sim.Time
+	// UtilizationThreshold for the utilization baseline (default 0.6).
+	UtilizationThreshold float64
+	Workload             workloads.Kind
+	Load                 float64
+	Deadline             sim.Time
+	PeakULBytes          int
+	PeakDLBytes          int
+	Seed                 uint64
+	// UseAccel offloads LDPC processing to the modeled FPGA (§7).
+	UseAccel bool
+	// IncludeMAC multiplexes the §7 MAC-layer scheduling extension on the
+	// same pool (one MAC DAG per cell per slot, one-slot deadline).
+	IncludeMAC bool
+	// ULTrace/DLTrace replay captured traces instead of synthetic traffic
+	// (looped; volumes scaled by TraceScale). Both must cover the cell
+	// count.
+	ULTrace, DLTrace *traffic.Trace
+	// TraceScale multiplies replayed volumes (the paper scales its LTE
+	// captures >10x for 5G benchmarks); 0 means 1.
+	TraceScale float64
+	// TrainingSlots is the number of offline profiling TTIs used to build
+	// the quantile trees (0 selects the default).
+	TrainingSlots int
+	// PredictorMargin scales tree predictions (1.0 = Algorithm 2 exactly).
+	PredictorMargin float64
+	// Predictor overrides the trained quantile trees when non-nil
+	// (experiments inject linear/boosting/EVT baselines through this).
+	Predictor pool.Predictors
+	// Ablation disables individual Concordia mechanisms for the ablation
+	// study; the zero value is the full system.
+	Ablation Ablation
+}
+
+// Ablation switches off individual Concordia mechanisms so their
+// contribution can be measured (the design choices DESIGN.md calls out).
+type Ablation struct {
+	// NoWakeupCompensation disables stuck-core replacement at the 20 µs tick.
+	NoWakeupCompensation bool
+	// NoOnlineAdaptation freezes the predictors after offline training
+	// (Algorithm 2's training step skipped).
+	NoOnlineAdaptation bool
+	// NoHysteresis releases idle cores immediately instead of bridging
+	// inter-TTI gaps.
+	NoHysteresis bool
+}
+
+// frozenPredictors wraps a predictor set and drops online observations.
+type frozenPredictors struct{ inner pool.Predictors }
+
+func (f frozenPredictors) Predict(kind ran.TaskKind, fv ran.FeatureVector) sim.Time {
+	return f.inner.Predict(kind, fv)
+}
+
+func (f frozenPredictors) Observe(ran.TaskKind, ran.FeatureVector, sim.Time) {}
+
+// DefaultTrainingSlots is the offline profiling length when unspecified:
+// enough TTIs that every task kind collects thousands of samples (the paper
+// gathers 500 K samples offline).
+const DefaultTrainingSlots = 4000
+
+// Scenario presets matching the paper's Table 1/2.
+//
+// Scenario100MHz returns the 2-cell 100 MHz TDD deployment (1.5 ms
+// deadline, 12-core-class pool).
+func Scenario100MHz(cells, cores int) Config {
+	return Config{
+		Cells:       ran.Cells100MHz(cells),
+		PoolCores:   cores,
+		Scheduler:   SchedConcordia,
+		Workload:    workloads.None,
+		Load:        0.5,
+		Deadline:    sim.FromMs(1.5),
+		PeakULBytes: 10000, // 160 Mb/s over 0.5 ms slots
+		PeakDLBytes: 94000, // 1.5 Gb/s over 0.5 ms slots
+	}
+}
+
+// Scenario20MHz returns the 7-cell 20 MHz FDD deployment (2 ms deadline,
+// 8-core-class pool).
+func Scenario20MHz(cells, cores int) Config {
+	return Config{
+		Cells:       ran.Cells20MHz(cells),
+		PoolCores:   cores,
+		Scheduler:   SchedConcordia,
+		Workload:    workloads.None,
+		Load:        0.5,
+		Deadline:    sim.FromMs(2),
+		PeakULBytes: 20000, // 160 Mb/s over 1 ms slots
+		PeakDLBytes: 47500, // 380 Mb/s over 1 ms slots
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.Scheduler == "" {
+		c.Scheduler = SchedConcordia
+	}
+	if c.ShenangoThreshold == 0 {
+		c.ShenangoThreshold = 25 * sim.Microsecond
+	}
+	if c.UtilizationThreshold == 0 {
+		c.UtilizationThreshold = 0.6
+	}
+	if c.TrainingSlots == 0 {
+		c.TrainingSlots = DefaultTrainingSlots
+	}
+	if c.PredictorMargin == 0 {
+		c.PredictorMargin = 1.0
+	}
+}
+
+func (c *Config) buildScheduler() (scheduler.Scheduler, error) {
+	switch c.Scheduler {
+	case SchedConcordia:
+		s := scheduler.NewConcordia()
+		s.DisableWakeupCompensation = c.Ablation.NoWakeupCompensation
+		return s, nil
+	case SchedFlexRAN:
+		return scheduler.FlexRAN{}, nil
+	case SchedShenango:
+		return scheduler.NewShenango(c.ShenangoThreshold), nil
+	case SchedUtilization:
+		return scheduler.NewUtilization(c.UtilizationThreshold), nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler %q", c.Scheduler)
+	}
+}
+
+// System is a fully assembled deployment ready to run.
+type System struct {
+	cfg        Config
+	pool       *pool.Pool
+	Predictors pool.PredictorSet
+}
+
+// Profile generates the offline training dataset (§4.2): TTIs with
+// transmission parameters swept across the input space, executed in
+// isolation, with per-task (features, runtime) samples. Both link
+// directions are profiled.
+func Profile(cells []ran.CellConfig, slots int, model *costmodel.Model, poolCores int, seed uint64) map[ran.TaskKind][]predictor.Sample {
+	r := rng.New(seed)
+	env := costmodel.Env{PoolCores: poolCores}
+	out := map[ran.TaskKind][]predictor.Sample{}
+	record := func(d *ran.DAG) {
+		if d == nil {
+			return
+		}
+		for _, t := range d.Tasks {
+			out[t.Kind] = append(out[t.Kind], predictor.Sample{
+				Features: t.Features,
+				Runtime:  model.Sample(t.Kind, t.Features, env),
+			})
+		}
+	}
+	for s := 0; s < slots; s++ {
+		cell := cells[s%len(cells)]
+		// Sweep the input space: uniform random volumes up to a generous
+		// per-slot ceiling, including empty slots.
+		ulPeak := 1 + r.Intn(64*1024)
+		dlPeak := 1 + r.Intn(128*1024)
+		record(ran.BuildUplinkDAG(cell, s, 0, sim.FromMs(2), ran.AllocateSlot(cell, ulPeak, r)))
+		record(ran.BuildDownlinkDAG(cell, s, 0, sim.FromMs(2), ran.AllocateSlot(cell, dlPeak, r)))
+		record(ran.BuildMACDAG(cell, s, 0, cell.Numerology.SlotDuration(), 1+r.Intn(cell.MaxUEs)))
+	}
+	return out
+}
+
+// TrainPredictors runs Algorithm 1 for every profiled task kind: feature
+// selection (distance correlation + backwards elimination + hand-picked)
+// followed by quantile-tree training.
+func TrainPredictors(data map[ran.TaskKind][]predictor.Sample, margin float64) (pool.PredictorSet, error) {
+	if len(data) == 0 {
+		return nil, errors.New("core: empty training data")
+	}
+	set := pool.PredictorSet{}
+	for kind, samples := range data {
+		if len(samples) < 200 {
+			continue // too little data; the pool's fallback margin covers it
+		}
+		feats := predictor.SelectFeatures(kind, samples, 6, 3)
+		tree, err := predictor.TrainQuantileTree(kind, feats, samples, predictor.TreeConfig{Margin: margin})
+		if err != nil {
+			return nil, fmt.Errorf("core: training %v: %w", kind, err)
+		}
+		set[kind] = tree
+	}
+	return set, nil
+}
+
+// NewSystem profiles, trains, and assembles a deployment.
+func NewSystem(cfg Config) (*System, error) {
+	cfg.fillDefaults()
+	sched, err := cfg.buildScheduler()
+	if err != nil {
+		return nil, err
+	}
+	model := costmodel.New(cfg.Seed ^ 0xc0de)
+	var preds pool.Predictors
+	var set pool.PredictorSet
+	if cfg.Predictor != nil {
+		preds = cfg.Predictor
+	} else {
+		data := Profile(cfg.Cells, cfg.TrainingSlots, model, cfg.PoolCores, cfg.Seed^0x0ff1)
+		set, err = TrainPredictors(data, cfg.PredictorMargin)
+		if err != nil {
+			return nil, err
+		}
+		preds = set
+	}
+	var dev *accel.Accelerator
+	if cfg.UseAccel {
+		dev = accel.DefaultFPGA()
+	}
+	var wl *workloads.Schedule
+	if cfg.Workload != workloads.None {
+		wl = workloads.NewSchedule(cfg.Workload, 12*sim.Second*3600, cfg.Seed^0x3141)
+	}
+	// Concordia's proactive reservation bridges inter-TTI gaps; baselines
+	// release the instant their condition clears.
+	var hysteresis sim.Time
+	if cfg.Scheduler == SchedConcordia && !cfg.Ablation.NoHysteresis {
+		hysteresis = 2 * cfg.Cells[0].Numerology.SlotDuration()
+	}
+	if cfg.Ablation.NoOnlineAdaptation {
+		preds = frozenPredictors{inner: preds}
+	}
+	var ulSrc, dlSrc traffic.Source
+	if cfg.ULTrace != nil {
+		ulSrc, err = traffic.NewReplayer(cfg.ULTrace, cfg.TraceScale)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.DLTrace != nil {
+		dlSrc, err = traffic.NewReplayer(cfg.DLTrace, cfg.TraceScale)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p, err := pool.New(pool.Config{
+		Cells:             cfg.Cells,
+		PoolCores:         cfg.PoolCores,
+		Scheduler:         sched,
+		Predict:           preds,
+		CostModel:         model,
+		Platform:          platform.New(cfg.Seed ^ 0x9e37),
+		Workload:          wl,
+		Deadline:          cfg.Deadline,
+		Load:              cfg.Load,
+		PeakULBytes:       cfg.PeakULBytes,
+		PeakDLBytes:       cfg.PeakDLBytes,
+		Seed:              cfg.Seed,
+		ULSource:          ulSrc,
+		DLSource:          dlSrc,
+		RotatePeriod:      sim.FromMs(2),
+		ReleaseHysteresis: hysteresis,
+		Accel:             dev,
+		IncludeMAC:        cfg.IncludeMAC,
+		StaticPartition:   cfg.Scheduler == SchedFlexRAN,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, pool: p, Predictors: set}, nil
+}
+
+// Run executes the deployment for the given duration.
+func (s *System) Run(duration sim.Time) *pool.Report {
+	return s.pool.Run(duration)
+}
+
+// MinimumCores searches for the smallest pool size that meets the deadline
+// with the required reliability at the configured load, following the
+// paper's methodology ("we use the minimum number of cores required to meet
+// the vRAN processing deadline"). Each candidate runs for probe duration;
+// feasibility is monotone in cores, so a binary search suffices.
+func MinimumCores(cfg Config, maxCores int, reliability float64, probe sim.Time) (int, error) {
+	cfg.fillDefaults()
+	feasible := func(cores int) (bool, error) {
+		c := cfg
+		c.PoolCores = cores
+		sys, err := NewSystem(c)
+		if err != nil {
+			return false, err
+		}
+		return sys.Run(probe).Reliability() >= reliability, nil
+	}
+	ok, err := feasible(maxCores)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("core: no core count up to %d meets %.5f reliability", maxCores, reliability)
+	}
+	lo, hi := 1, maxCores // invariant: hi is feasible
+	for lo < hi {
+		mid := (lo + hi) / 2
+		ok, err := feasible(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi, nil
+}

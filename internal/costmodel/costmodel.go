@@ -1,0 +1,226 @@
+// Package costmodel maps signal-processing tasks to execution times on the
+// simulated platform. It is the reproduction's stand-in for measuring Intel
+// FlexRAN kernels on a tuned Xeon: every coefficient below is calibrated to
+// magnitudes the paper reports (≈30 µs per LDPC codeblock in Fig 6a, task
+// cost shares of Table 5, the ≤25 % multi-core memory-stall penalty of
+// Fig 6, and interference inflation consistent with Fig 9).
+//
+// The model separates:
+//
+//   - Mean: the deterministic input-dependent expected runtime. Linear in
+//     codeblocks/TBS, non-linear in SNR (decoder iterations) and in the
+//     number of pool cores (memory stalls) — the two effects §4.1 calls out
+//     as breaking single-value WCET prediction.
+//   - Sample: Mean times multiplicative noise — a lognormal body plus a rare
+//     bounded-Pareto spike whose frequency and weight grow with cache
+//     interference from collocated workloads.
+package costmodel
+
+import (
+	"math"
+
+	"concordia/internal/ran"
+	"concordia/internal/rng"
+	"concordia/internal/sim"
+)
+
+// Env describes the platform conditions a task runs under.
+type Env struct {
+	// PoolCores is the number of cores currently assigned to the vRAN pool;
+	// spreading work over more cores increases per-task memory stalls
+	// (Fig 6b).
+	PoolCores int
+	// Interference is the cache-pressure index from collocated best-effort
+	// workloads: 0 = isolated vRAN, 1 = a saturating cache-heavy workload.
+	Interference float64
+}
+
+// Model produces task runtimes. A Model is not safe for concurrent use;
+// the pool holds one per simulation.
+type Model struct {
+	// Scale is a global calibration multiplier (1.0 = the calibrated
+	// defaults below).
+	Scale float64
+	rand  *rng.Rand
+}
+
+// New returns a model with the default calibration and its own noise stream.
+func New(seed uint64) *Model {
+	return &Model{Scale: 1.0, rand: rng.New(seed)}
+}
+
+// IterationFactor is the SNR-dependent LDPC decoding-effort multiplier:
+// low-SNR transport blocks need more belief-propagation iterations. The
+// curve is calibrated against the internal/phy min-sum decoder (≈2
+// iterations at 20 dB, approaching the iteration cap near 0 dB).
+func IterationFactor(snrDB float64) float64 {
+	f := 0.5 + 1.7*math.Exp(-snrDB/8)
+	if f > 2.2 {
+		f = 2.2
+	}
+	return f
+}
+
+// StallPenalty is the multi-core memory-stall multiplier of Fig 6: spreading
+// a cell's codeblocks across more pool cores raises per-task runtime by up
+// to ~25 % due to cross-core data movement.
+func StallPenalty(poolCores int) float64 {
+	if poolCores <= 1 {
+		return 1
+	}
+	return 1 + 0.25*(1-1/float64(poolCores))
+}
+
+// InterferenceInflation is the mean runtime inflation caused by cache
+// pressure from collocated workloads. Calibrated so a saturating workload
+// inflates task bodies ~12 % (the vanilla-FlexRAN stall-cycle increase of
+// Fig 9 is 25 %; roughly half of stall cycles translate to wall time on
+// these kernels).
+func InterferenceInflation(interference float64) float64 {
+	if interference < 0 {
+		interference = 0
+	}
+	return 1 + 0.12*interference
+}
+
+// meanUs returns the calibrated expected runtime in microseconds, excluding
+// platform multipliers.
+func meanUs(kind ran.TaskKind, f ran.FeatureVector) float64 {
+	tbs := f.Get(ran.FTBSBits)
+	cbs := f.Get(ran.FCodeblocks)
+	prbs := f.Get(ran.FPRBs)
+	ants := f.Get(ran.FAntennas)
+	layers := f.Get(ran.FLayers)
+	if layers < 1 {
+		layers = 1
+	}
+	snr := f.Get(ran.FSNRdB)
+	ues := f.Get(ran.FNumUEs)
+
+	switch kind {
+	case ran.TaskFFT, ran.TaskIFFT:
+		return 4 + 0.05*prbs
+	case ran.TaskChannelEstimation:
+		// DM-RS LS estimation + interpolation per antenna across the
+		// allocation; dominant at wide bandwidth and many ports.
+		return 2 + 0.10*prbs*ants
+	case ran.TaskEqualization:
+		// Per-subcarrier MMSE filtering: a small matrix inverse per RB
+		// group, scaling with ports × layers.
+		return 1.5 + 0.03*prbs*ants*layers
+	case ran.TaskDemodulation:
+		return 1 + 0.0004*tbs + 0.01*prbs*layers
+	case ran.TaskRateDematch:
+		return 1 + 0.0001*tbs
+	case ran.TaskLDPCDecode:
+		return 6 + 30*cbs*IterationFactor(snr)
+	case ran.TaskCRCCheck:
+		return 0.5 + 0.00001*tbs
+	case ran.TaskPolarDecode:
+		return 4 + 0.3*ues
+	case ran.TaskLDPCEncode:
+		return 2 + 8*cbs
+	case ran.TaskRateMatch:
+		return 0.8 + 0.00002*tbs
+	case ran.TaskModulation:
+		return 1 + 0.00006*tbs + 0.004*prbs
+	case ran.TaskPrecoding:
+		return 3 + 0.08*prbs*ants
+	case ran.TaskPolarEncode:
+		return 2.5 + 0.2*ues
+	case ran.TaskMACUplinkSched, ran.TaskMACDownlinkSched:
+		// Radio-resource scheduling complexity fluctuates with users and
+		// their antenna mapping (§7's massive-MIMO observation): superlinear
+		// in scheduled UEs, scaled by layers.
+		return 2 + 0.8*ues*math.Sqrt(ues+1)*layers/2
+	case ran.TaskMACBuild:
+		return 1 + 0.3*ues
+	case ran.TaskTurboDecode:
+		// Turbo decoding is markedly heavier per codeblock than LDPC
+		// min-sum (BCJR component decoders, 4G's cost profile).
+		return 8 + 45*cbs*IterationFactor(snr)
+	case ran.TaskTurboEncode:
+		return 2 + 5*cbs
+	default:
+		return 1
+	}
+}
+
+// Mean returns the deterministic expected runtime of a task under env.
+func (m *Model) Mean(kind ran.TaskKind, f ran.FeatureVector, env Env) sim.Time {
+	us := meanUs(kind, f) * m.Scale
+	us *= StallPenalty(env.PoolCores)
+	us *= InterferenceInflation(env.Interference)
+	return sim.FromUs(us)
+}
+
+// Noise calibration per task family. Decoding has the widest intrinsic
+// spread (data-dependent iteration counts).
+func bodySigma(kind ran.TaskKind) float64 {
+	switch kind {
+	case ran.TaskLDPCDecode:
+		return 0.13
+	case ran.TaskLDPCEncode, ran.TaskPrecoding:
+		return 0.07
+	default:
+		return 0.05
+	}
+}
+
+// Tail-spike parameters: rare multiplicative latency spikes whose frequency
+// and magnitude grow with interference (LLC evictions, TLB shootdowns).
+const (
+	spikeBaseProb  = 2e-4
+	spikeInterProb = 4e-3
+	spikeAlpha     = 1.5
+	spikeMaxIso    = 2.0
+	spikeMaxInter  = 4.0
+)
+
+// Sample draws one stochastic runtime for a task under env.
+func (m *Model) Sample(kind ran.TaskKind, f ran.FeatureVector, env Env) sim.Time {
+	mean := float64(m.Mean(kind, f, env))
+	sigma := bodySigma(kind)
+	// Lognormal body normalized to unit mean.
+	mult := m.rand.LogNormal(-sigma*sigma/2, sigma)
+	p := spikeBaseProb + spikeInterProb*env.Interference
+	if m.rand.Bool(p) {
+		max := spikeMaxIso + (spikeMaxInter-spikeMaxIso)*env.Interference
+		mult *= m.rand.BoundedPareto(1.15, spikeAlpha, max)
+	}
+	t := sim.Time(mean * mult)
+	if t < sim.Time(100) { // floor: 100 ns
+		t = sim.Time(100)
+	}
+	return t
+}
+
+// DAGWork returns the summed expected runtime of every task in the DAG
+// (the C term of federated scheduling) under env.
+func (m *Model) DAGWork(d *ran.DAG, env Env) sim.Time {
+	var total sim.Time
+	for _, t := range d.Tasks {
+		total += m.Mean(t.Kind, t.Features, env)
+	}
+	return total
+}
+
+// CriticalPath returns the longest expected-runtime path through the DAG
+// (the L term of federated scheduling) under env.
+func (m *Model) CriticalPath(d *ran.DAG, env Env) sim.Time {
+	longest := make([]sim.Time, len(d.Tasks))
+	var best sim.Time
+	for _, t := range d.Tasks { // tasks are topologically ordered by ID
+		var in sim.Time
+		for _, dep := range t.Deps {
+			if longest[dep] > in {
+				in = longest[dep]
+			}
+		}
+		longest[t.ID] = in + m.Mean(t.Kind, t.Features, env)
+		if longest[t.ID] > best {
+			best = longest[t.ID]
+		}
+	}
+	return best
+}

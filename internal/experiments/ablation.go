@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"concordia/internal/core"
+	"concordia/internal/sim"
+	"concordia/internal/workloads"
+)
+
+// AblationRow measures one system variant.
+type AblationRow struct {
+	Variant     string
+	Reliability float64
+	P9999Us     float64
+	Reclaimed   float64
+	EventsPerMs float64
+}
+
+// AblationResult isolates the contribution of each Concordia mechanism:
+// wakeup compensation (reliability under kernel latency spikes), online
+// adaptation (reliability under interference the offline phase never saw),
+// and release hysteresis (scheduling-event rate, hence cache churn).
+type AblationResult struct{ Rows []AblationRow }
+
+// RunAblation runs the 20 MHz scenario under Redis with each mechanism
+// removed in turn.
+func RunAblation(o Options) (*AblationResult, error) {
+	variants := []struct {
+		name string
+		ab   core.Ablation
+	}{
+		{"full system", core.Ablation{}},
+		{"no wakeup compensation", core.Ablation{NoWakeupCompensation: true}},
+		{"no online adaptation", core.Ablation{NoOnlineAdaptation: true}},
+		{"no release hysteresis", core.Ablation{NoHysteresis: true}},
+	}
+	res := &AblationResult{}
+	dur := o.dur(120 * sim.Second)
+	for _, v := range variants {
+		cfg := table2Scenario(false, o)
+		cfg.Cells = cfg.Cells[:4]
+		cfg.PoolCores = 5
+		cfg.Load = 0.5
+		cfg.Workload = workloads.Redis
+		cfg.Ablation = v.ab
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep := sys.Run(dur)
+		res.Rows = append(res.Rows, AblationRow{
+			Variant:     v.name,
+			Reliability: rep.Reliability(),
+			P9999Us:     rep.TailLatencyUs(0.9999),
+			Reclaimed:   rep.ReclaimedFraction(),
+			EventsPerMs: rep.CoreChurnPerMs(),
+		})
+	}
+	return res, nil
+}
+
+// String implements fmt.Stringer.
+func (r *AblationResult) String() string {
+	var sb strings.Builder
+	header(&sb, "Ablation: contribution of each Concordia mechanism (4x20MHz + Redis)")
+	fmt.Fprintf(&sb, "%-26s %12s %12s %11s %10s\n",
+		"variant", "reliability", "p99.99 us", "reclaimed", "events/ms")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-26s %12s %12.0f %11s %10.2f\n",
+			row.Variant, nines(row.Reliability), row.P9999Us, pct(row.Reclaimed), row.EventsPerMs)
+	}
+	sb.WriteString("expected: compensation protects the tail; adaptation protects reliability under\n")
+	sb.WriteString("interference; hysteresis cuts scheduling events (cache churn) at slight reclaim cost\n")
+	return sb.String()
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"concordia/internal/core"
+	"concordia/internal/platform"
+	"concordia/internal/sim"
+	"concordia/internal/stats"
+	"concordia/internal/workloads"
+)
+
+// Fig9Result reproduces Fig 9: cache-efficiency degradation of pool worker
+// threads under a collocated Redis workload, Concordia vs vanilla FlexRAN.
+type Fig9Result struct {
+	Concordia platform.PerfCounters
+	FlexRAN   platform.PerfCounters
+	// Churn rates driving the counters (events/ms).
+	ChurnConcordia float64
+	ChurnFlexRAN   float64
+}
+
+// RunFig9Cache runs the 2×100 MHz + Redis scenario under both schedulers
+// and derives the perf counters from the measured churn and interference.
+func RunFig9Cache(o Options) (*Fig9Result, error) {
+	dur := o.dur(60 * sim.Second)
+	run := func(sched core.SchedulerKind) (float64, error) {
+		cfg := table2Scenario(true, o)
+		cfg.Load = 0.5
+		cfg.Workload = workloads.Redis
+		cfg.Scheduler = sched
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return 0, err
+		}
+		rep := sys.Run(dur)
+		return rep.CoreChurnPerMs(), nil
+	}
+	churnC, err := run(core.SchedConcordia)
+	if err != nil {
+		return nil, err
+	}
+	churnF, err := run(core.SchedFlexRAN)
+	if err != nil {
+		return nil, err
+	}
+	redis, _ := workloads.ProfileOf(workloads.Redis)
+	return &Fig9Result{
+		Concordia:      platform.Counters(platform.CounterEnv{Interference: redis.CacheIntensity, CoreChurnPerMs: churnC}),
+		FlexRAN:        platform.Counters(platform.CounterEnv{Interference: redis.CacheIntensity, CoreChurnPerMs: churnF}),
+		ChurnConcordia: churnC,
+		ChurnFlexRAN:   churnF,
+	}, nil
+}
+
+// String implements fmt.Stringer.
+func (r *Fig9Result) String() string {
+	var sb strings.Builder
+	header(&sb, "Fig 9: cache effects of collocation (2x100 MHz + Redis)")
+	fmt.Fprintf(&sb, "%-26s %12s %12s\n", "counter increase", "concordia", "flexran")
+	fmt.Fprintf(&sb, "%-26s %12s %12s\n", "stall cycles/instr",
+		pct(r.Concordia.StallCyclesPerInstrIncrease), pct(r.FlexRAN.StallCyclesPerInstrIncrease))
+	fmt.Fprintf(&sb, "%-26s %12s %12s\n", "L1 misses/instr",
+		pct(r.Concordia.L1MissPerInstrIncrease), pct(r.FlexRAN.L1MissPerInstrIncrease))
+	fmt.Fprintf(&sb, "%-26s %12s %12s\n", "LLC loads/instr",
+		pct(r.Concordia.LLCLoadsPerInstrIncrease), pct(r.FlexRAN.LLCLoadsPerInstrIncrease))
+	fmt.Fprintf(&sb, "core churn (events/ms)     %12.2f %12.2f\n", r.ChurnConcordia, r.ChurnFlexRAN)
+	sb.WriteString("paper: FlexRAN +25% stalls vs Concordia <2%\n")
+	return sb.String()
+}
+
+// Fig10Result reproduces Fig 10: OS scheduling-latency histograms of pool
+// worker threads and total scheduling-event counts.
+type Fig10Result struct {
+	// Histograms keyed by "scheduler/workload".
+	Hists  map[string]*stats.Log2Histogram
+	Events map[string]uint64
+	// TailEvents counts wakeups above 63 µs (the Concordia side-effect the
+	// paper notes).
+	TailEvents map[string]uint64
+}
+
+// RunFig10SchedLatency measures wakeup latencies for 2×100 MHz cells with
+// and without Redis, under both schedulers.
+func RunFig10SchedLatency(o Options) (*Fig10Result, error) {
+	res := &Fig10Result{
+		Hists:      map[string]*stats.Log2Histogram{},
+		Events:     map[string]uint64{},
+		TailEvents: map[string]uint64{},
+	}
+	dur := o.dur(60 * sim.Second)
+	for _, sched := range []core.SchedulerKind{core.SchedConcordia, core.SchedFlexRAN} {
+		for _, wl := range []workloads.Kind{workloads.None, workloads.Redis} {
+			cfg := table2Scenario(true, o)
+			cfg.PoolCores = 8
+			cfg.Load = 0.5
+			cfg.Scheduler = sched
+			cfg.Workload = wl
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rep := sys.Run(dur)
+			key := fmt.Sprintf("%s/%s", sched, wl)
+			res.Hists[key] = rep.WakeupHistUs
+			res.Events[key] = rep.SchedulingEvents
+			res.TailEvents[key] = rep.WakeupHistUs.CountAbove(64)
+		}
+	}
+	return res, nil
+}
+
+// String implements fmt.Stringer.
+func (r *Fig10Result) String() string {
+	var sb strings.Builder
+	header(&sb, "Fig 10: scheduling latency of pool worker threads (2x100 MHz)")
+	for _, key := range []string{
+		"flexran/isolated", "concordia/isolated", "flexran/redis", "concordia/redis"} {
+		h, ok := r.Hists[key]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&sb, "\n[%s] events=%d wakeups=%d >63us=%d\n",
+			key, r.Events[key], h.Total(), r.TailEvents[key])
+		sb.WriteString(h.String())
+	}
+	if r.Events["concordia/redis"] > 0 {
+		ratio := float64(r.Events["flexran/redis"]) / float64(r.Events["concordia/redis"])
+		fmt.Fprintf(&sb, "flexran/concordia event ratio under redis: %.1fx (paper: ~3.3x)\n", ratio)
+	}
+	return sb.String()
+}

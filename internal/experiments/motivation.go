@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"concordia/internal/core"
+	"concordia/internal/sim"
+	"concordia/internal/workloads"
+)
+
+// minProbe enforces a floor on provisioning probes: resolving the minimum
+// core count needs enough slots to expose tail events even at small scales.
+func minProbe(d sim.Time) sim.Time {
+	if d < 5*sim.Second {
+		return 5 * sim.Second
+	}
+	return d
+}
+
+// fig4Scenario is one row of Fig 4a.
+type fig4Scenario struct {
+	Name  string
+	Cfg   core.Config
+	Paper string // paper's "cores / util" for the caption
+}
+
+func fig4Scenarios(o Options) []fig4Scenario {
+	ulOnly := core.Scenario20MHz(3, 0)
+	// UL-only: suppress downlink volume to a token amount.
+	ulOnly.PeakDLBytes = 64
+	ulOnly.Load = 1.0
+	ulOnly.Seed = o.Seed
+	ulOnly.TrainingSlots = o.training()
+
+	tdd1 := core.Scenario100MHz(1, 0)
+	tdd1.Load = 1.0
+	tdd1.Seed = o.Seed + 1
+	tdd1.TrainingSlots = o.training()
+
+	tdd2 := core.Scenario100MHz(2, 0)
+	tdd2.Load = 1.0
+	tdd2.Seed = o.Seed + 2
+	tdd2.TrainingSlots = o.training()
+
+	return []fig4Scenario{
+		{Name: "UL only (3 cells)", Cfg: ulOnly, Paper: "4 cores, 42%"},
+		{Name: "TDD (1 cell)", Cfg: tdd1, Paper: "5 cores, 38%"},
+		{Name: "TDD (2 cells)", Cfg: tdd2, Paper: "12 cores, 33%"},
+	}
+}
+
+// Fig4aRow is one measured row of the vRAN utilization table.
+type Fig4aRow struct {
+	Name     string
+	MinCores int
+	AvgUtil  float64 // busy time over pool time at peak traffic
+	Paper    string
+}
+
+// Fig4aResult is the Fig 4a table.
+type Fig4aResult struct{ Rows []Fig4aRow }
+
+// RunFig4Utilization finds the minimum cores for peak traffic per scenario
+// (isolated FlexRAN-style operation) and measures average utilization —
+// the >50% idle-capacity motivation.
+func RunFig4Utilization(o Options) (*Fig4aResult, error) {
+	res := &Fig4aResult{}
+	probe := minProbe(o.dur(20 * sim.Second))
+	for _, sc := range fig4Scenarios(o) {
+		cfg := sc.Cfg
+		cores, err := core.MinimumCores(cfg, 16, 0.99999, probe)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		cfg.PoolCores = cores
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep := sys.Run(probe)
+		res.Rows = append(res.Rows, Fig4aRow{
+			Name:     sc.Name,
+			MinCores: cores,
+			AvgUtil:  rep.RANUtilization(),
+			Paper:    sc.Paper,
+		})
+	}
+	return res, nil
+}
+
+// String implements fmt.Stringer.
+func (r *Fig4aResult) String() string {
+	var sb strings.Builder
+	header(&sb, "Fig 4a: vRAN CPU utilization at peak traffic (isolated)")
+	fmt.Fprintf(&sb, "%-20s %9s %10s   %s\n", "config", "min cores", "avg util", "paper")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-20s %9d %10s   %s\n", row.Name, row.MinCores, pct(row.AvgUtil), row.Paper)
+	}
+	return sb.String()
+}
+
+// Fig4bRow is one bar of Fig 4b: p99.99 slot latency for a scenario and
+// collocated workload under the vanilla sharing configuration.
+type Fig4bRow struct {
+	Scenario   string
+	Workload   workloads.Kind
+	P9999Us    float64
+	DeadlineUs float64
+	Violated   bool
+}
+
+// Fig4bResult is the deadline-violation motivation figure.
+type Fig4bResult struct{ Rows []Fig4bRow }
+
+// RunFig4Violations measures the 99.99% slot processing latency of the
+// vanilla (FlexRAN-scheduled) vRAN when sharing cores with Nginx and Redis.
+func RunFig4Violations(o Options) (*Fig4bResult, error) {
+	res := &Fig4bResult{}
+	dur := o.dur(60 * sim.Second)
+	for _, sc := range fig4Scenarios(o) {
+		cores, err := core.MinimumCores(sc.Cfg, 16, 0.99999, minProbe(o.dur(10*sim.Second)))
+		if err != nil {
+			return nil, err
+		}
+		for _, wl := range []workloads.Kind{workloads.None, workloads.Nginx, workloads.Redis} {
+			cfg := sc.Cfg
+			cfg.PoolCores = cores
+			cfg.Scheduler = core.SchedFlexRAN
+			cfg.Workload = wl
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rep := sys.Run(dur)
+			res.Rows = append(res.Rows, Fig4bRow{
+				Scenario:   sc.Name,
+				Workload:   wl,
+				P9999Us:    rep.TailLatencyUs(0.9999),
+				DeadlineUs: cfg.Deadline.Us(),
+				Violated:   rep.TailLatencyUs(0.9999) > cfg.Deadline.Us(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// String implements fmt.Stringer.
+func (r *Fig4bResult) String() string {
+	var sb strings.Builder
+	header(&sb, "Fig 4b: slot deadline violations with vanilla sharing")
+	fmt.Fprintf(&sb, "%-20s %-10s %12s %12s %s\n", "config", "workload", "p99.99 (us)", "deadline", "violated")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-20s %-10s %12.0f %12.0f %v\n",
+			row.Scenario, row.Workload, row.P9999Us, row.DeadlineUs, row.Violated)
+	}
+	return sb.String()
+}

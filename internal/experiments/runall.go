@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"concordia/internal/ran"
+)
+
+// Experiment names accepted by Run.
+var Names = []string{
+	"fig3", "pooling", "fig4a", "fig4b", "fig6", "fig7", "fig8a", "fig8b",
+	"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b",
+	"table3", "table4", "fig17", "ablation", "extension", "calibration",
+}
+
+// Run executes one named experiment and writes its rendered result.
+func Run(name string, o Options, w io.Writer) error {
+	var res fmt.Stringer
+	var err error
+	switch name {
+	case "fig3":
+		res, err = RunFig3Traffic(o)
+	case "pooling":
+		res, err = RunPoolingGaussian(o)
+	case "fig4a":
+		res, err = RunFig4Utilization(o)
+	case "fig4b":
+		res, err = RunFig4Violations(o)
+	case "fig6":
+		res, err = RunFig6LDPCScaling(o)
+	case "fig7":
+		res, err = RunFig7Leaves(o)
+	case "fig8a":
+		res, err = RunFig8Reclaimed(o)
+	case "fig8b":
+		res, err = RunFig8Workloads(o)
+	case "fig9":
+		res, err = RunFig9Cache(o)
+	case "fig10":
+		res, err = RunFig10SchedLatency(o)
+	case "fig11":
+		res, err = RunFig11TailLatency(o)
+	case "fig12":
+		res, err = RunFig12Cores(o)
+	case "fig13":
+		res, err = RunFig13PWCET(o)
+	case "fig14":
+		res, err = RunFig14Models(o, ran.TaskLDPCDecode)
+	case "fig15a":
+		res, err = RunFig15Overhead(o)
+	case "fig15b":
+		res, err = RunFig15Deadline(o)
+	case "table3":
+		res, err = RunTable3FPGA(o)
+	case "table4":
+		res, err = RunTable4Offload(o)
+	case "fig17":
+		res, err = RunFig17PerTask(o)
+	case "ablation":
+		res, err = RunAblation(o)
+	case "extension":
+		res, err = RunMACExtension(o)
+	case "calibration":
+		res, err = RunCalibration(o)
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q", name)
+	}
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	_, err = fmt.Fprintln(w, res.String())
+	return err
+}
+
+// RunAll executes every experiment in order.
+func RunAll(o Options, w io.Writer) error {
+	for _, name := range Names {
+		if err := Run(name, o, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"concordia/internal/core"
+	"concordia/internal/sim"
+	"concordia/internal/workloads"
+)
+
+// Fig11Row is one bar group of Fig 11: tail slot latency for a scheduler,
+// configuration and workload.
+type Fig11Row struct {
+	Config     string
+	Scheduler  core.SchedulerKind
+	Workload   workloads.Kind
+	AvgUs      float64
+	P9999Us    float64
+	P99999Us   float64
+	DeadlineUs float64
+	Reliable   float64
+}
+
+// Fig11Result is the headline tail-latency comparison.
+type Fig11Result struct{ Rows []Fig11Row }
+
+// Fig11Workloads is the collocation set of Fig 11.
+var Fig11Workloads = []workloads.Kind{
+	workloads.None, workloads.Nginx, workloads.Redis, workloads.TPCC, workloads.MLPerf,
+}
+
+// RunFig11TailLatency measures average/p99.99/p99.999 slot processing
+// latency for Concordia and vanilla FlexRAN on both Table 1 configurations
+// across the five collocation scenarios, with 8-core pools as in the paper.
+func RunFig11TailLatency(o Options) (*Fig11Result, error) {
+	res := &Fig11Result{}
+	dur := o.dur(300 * sim.Second) // scale 3.0 reproduces the paper's 15-minute runs
+	for _, is100 := range []bool{false, true} {
+		name := "7x20MHz FDD"
+		if is100 {
+			name = "2x100MHz TDD"
+		}
+		for _, sched := range []core.SchedulerKind{core.SchedConcordia, core.SchedFlexRAN} {
+			for _, wl := range Fig11Workloads {
+				cfg := table2Scenario(is100, o)
+				cfg.PoolCores = 8
+				// Table 1 specifies the *average* cell throughput, i.e. the
+				// maximum allowed average load.
+				cfg.Load = 1.0
+				cfg.Scheduler = sched
+				cfg.Workload = wl
+				sys, err := core.NewSystem(cfg)
+				if err != nil {
+					return nil, err
+				}
+				rep := sys.Run(dur)
+				res.Rows = append(res.Rows, Fig11Row{
+					Config:     name,
+					Scheduler:  sched,
+					Workload:   wl,
+					AvgUs:      rep.TailLatencyUs(0.5),
+					P9999Us:    rep.TailLatencyUs(0.9999),
+					P99999Us:   rep.TailLatencyUs(0.99999),
+					DeadlineUs: cfg.Deadline.Us(),
+					Reliable:   rep.Reliability(),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// String implements fmt.Stringer.
+func (r *Fig11Result) String() string {
+	var sb strings.Builder
+	header(&sb, "Fig 11: tail TTI processing latency, Concordia vs FlexRAN (8 cores)")
+	fmt.Fprintf(&sb, "%-14s %-10s %-9s %9s %11s %11s %9s %10s\n",
+		"config", "scheduler", "workload", "med us", "p99.99 us", "p99.999 us", "deadline", "reliab")
+	for _, row := range r.Rows {
+		marker := ""
+		if row.P99999Us > row.DeadlineUs {
+			marker = "  VIOLATED"
+		}
+		fmt.Fprintf(&sb, "%-14s %-10s %-9s %9.0f %11.0f %11.0f %9.0f %10s%s\n",
+			row.Config, row.Scheduler, row.Workload, row.AvgUs, row.P9999Us,
+			row.P99999Us, row.DeadlineUs, nines(row.Reliable), marker)
+	}
+	sb.WriteString("paper: Concordia meets 99.999% everywhere; FlexRAN violates with any workload except MLPerf\n")
+	return sb.String()
+}
+
+// Fig12Row is one bar of Fig 12: tail latency vs pool size under Mix.
+type Fig12Row struct {
+	Config   string
+	Cores    int
+	P9999Us  float64
+	P99999Us float64
+	Reliable float64
+}
+
+// Fig12Result is the pool-size sensitivity figure.
+type Fig12Result struct {
+	Rows       []Fig12Row
+	DeadlineUs map[string]float64
+}
+
+// RunFig12Cores runs the constantly-on mixed workload against 8- and 9-core
+// pools for both configurations.
+func RunFig12Cores(o Options) (*Fig12Result, error) {
+	res := &Fig12Result{DeadlineUs: map[string]float64{}}
+	dur := o.dur(300 * sim.Second)
+	for _, is100 := range []bool{false, true} {
+		name := "7x20MHz"
+		if is100 {
+			name = "2x100MHz"
+		}
+		for _, cores := range []int{8, 9} {
+			cfg := table2Scenario(is100, o)
+			cfg.PoolCores = cores
+			cfg.Load = 1.0
+			cfg.Workload = workloads.Mix
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rep := sys.Run(dur)
+			res.DeadlineUs[name] = cfg.Deadline.Us()
+			res.Rows = append(res.Rows, Fig12Row{
+				Config:   name,
+				Cores:    cores,
+				P9999Us:  rep.TailLatencyUs(0.9999),
+				P99999Us: rep.TailLatencyUs(0.99999),
+				Reliable: rep.Reliability(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// String implements fmt.Stringer.
+func (r *Fig12Result) String() string {
+	var sb strings.Builder
+	header(&sb, "Fig 12: Concordia tail latency vs pool size (Mix workload)")
+	fmt.Fprintf(&sb, "%-10s %6s %11s %11s %10s %10s\n",
+		"config", "cores", "p99.99 us", "p99.999 us", "deadline", "reliab")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-10s %6d %11.0f %11.0f %10.0f %10s\n",
+			row.Config, row.Cores, row.P9999Us, row.P99999Us,
+			r.DeadlineUs[row.Config], nines(row.Reliable))
+	}
+	sb.WriteString("paper: 20MHz meets five nines on 8 cores; 100MHz needs the 9th core\n")
+	return sb.String()
+}

@@ -1,0 +1,159 @@
+package phy
+
+import (
+	"errors"
+	"math/cmplx"
+)
+
+// ChannelEstimator performs least-squares channel estimation from known
+// pilot symbols scattered across subcarriers, with linear interpolation in
+// between — the structure of DM-RS-based estimation in NR (TS 38.211).
+type ChannelEstimator struct {
+	// PilotSpacing is the subcarrier distance between adjacent pilots.
+	PilotSpacing int
+}
+
+// NewChannelEstimator returns an estimator with the given pilot comb
+// spacing (NR type-1 DM-RS uses every other subcarrier; wider combs trade
+// accuracy for overhead).
+func NewChannelEstimator(pilotSpacing int) (*ChannelEstimator, error) {
+	if pilotSpacing < 1 {
+		return nil, errors.New("phy: pilot spacing must be >= 1")
+	}
+	return &ChannelEstimator{PilotSpacing: pilotSpacing}, nil
+}
+
+// PilotPositions returns the pilot subcarrier indices for a band of n
+// subcarriers.
+func (e *ChannelEstimator) PilotPositions(n int) []int {
+	var out []int
+	for i := 0; i < n; i += e.PilotSpacing {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Estimate returns the per-subcarrier channel estimate for a band of n
+// subcarriers, given the received pilot observations and the transmitted
+// pilot symbols (matched by position order). LS estimation at pilots,
+// linear interpolation elsewhere, edge extrapolation by replication.
+func (e *ChannelEstimator) Estimate(n int, rxPilots, txPilots []complex128) ([]complex128, error) {
+	pos := e.PilotPositions(n)
+	if len(rxPilots) != len(pos) || len(txPilots) != len(pos) {
+		return nil, errors.New("phy: pilot count mismatch")
+	}
+	if len(pos) == 0 {
+		return nil, errors.New("phy: no pilot positions")
+	}
+	h := make([]complex128, n)
+	ls := make([]complex128, len(pos))
+	for i := range pos {
+		if txPilots[i] == 0 {
+			return nil, errors.New("phy: zero pilot symbol")
+		}
+		ls[i] = rxPilots[i] / txPilots[i]
+	}
+	for i := 0; i < len(pos); i++ {
+		h[pos[i]] = ls[i]
+		if i+1 < len(pos) {
+			// Interpolate to the next pilot.
+			gap := pos[i+1] - pos[i]
+			for k := 1; k < gap; k++ {
+				t := complex(float64(k)/float64(gap), 0)
+				h[pos[i]+k] = ls[i]*(1-t) + ls[i+1]*t
+			}
+		}
+	}
+	// Extend beyond the last pilot by replication.
+	last := pos[len(pos)-1]
+	for k := last + 1; k < n; k++ {
+		h[k] = ls[len(ls)-1]
+	}
+	return h, nil
+}
+
+// MSE returns the mean squared error between an estimate and the true
+// channel, a standard estimator-quality metric used in tests.
+func MSE(est, truth []complex128) float64 {
+	if len(est) != len(truth) || len(est) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range est {
+		d := est[i] - truth[i]
+		s += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return s / float64(len(est))
+}
+
+// Equalizer applies per-subcarrier MIMO equalization.
+type Equalizer struct {
+	// NoiseVar is the complex noise variance used by the MMSE filter.
+	NoiseVar float64
+}
+
+// MMSEWeights returns the MMSE equalization matrix
+// W = (HᴴH + σ²I)⁻¹ Hᴴ for channel H (rxAnt × layers).
+func (eq *Equalizer) MMSEWeights(h *CMat) (*CMat, error) {
+	hh := h.Hermitian()
+	gram := hh.Mul(h).AddScaledIdentity(complex(eq.NoiseVar, 0))
+	inv, err := gram.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	return inv.Mul(hh), nil
+}
+
+// Equalize applies the MMSE filter to each received symbol vector,
+// returning per-layer symbol estimates.
+func (eq *Equalizer) Equalize(h *CMat, rx [][]complex128) ([][]complex128, error) {
+	w, err := eq.MMSEWeights(h)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]complex128, len(rx))
+	for i, y := range rx {
+		out[i] = w.MulVec(y)
+	}
+	return out, nil
+}
+
+// ZFPrecoder computes zero-forcing precoding matrices for the downlink: the
+// pseudo-inverse of the channel, normalized to unit total transmit power.
+type ZFPrecoder struct{}
+
+// Weights returns the normalized ZF precoder P for channel H (users ×
+// txAnt): P = Hᴴ(HHᴴ)⁻¹ scaled so ‖P‖_F² = number of streams.
+func (ZFPrecoder) Weights(h *CMat) (*CMat, error) {
+	p, err := h.PseudoInverse()
+	if err != nil {
+		return nil, err
+	}
+	// Frobenius normalization.
+	var f float64
+	for _, v := range p.Data {
+		f += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if f == 0 {
+		return nil, ErrSingularMatrix
+	}
+	streams := float64(h.Rows)
+	scale := complex(cmplxSqrt(streams/f), 0)
+	out := p.Clone()
+	for i := range out.Data {
+		out.Data[i] *= scale
+	}
+	return out, nil
+}
+
+func cmplxSqrt(x float64) float64 { return real(cmplx.Sqrt(complex(x, 0))) }
+
+// Precode applies P to each user symbol vector, producing per-antenna
+// transmit vectors.
+func (zf ZFPrecoder) Precode(p *CMat, userSymbols [][]complex128) [][]complex128 {
+	out := make([][]complex128, len(userSymbols))
+	for i, s := range userSymbols {
+		out[i] = p.MulVec(s)
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package phy
+
+import (
+	"errors"
+	"math/cmplx"
+)
+
+// CMat is a dense complex matrix stored row-major. MIMO dimensions in this
+// repository are small (≤ 8 antennas), so simple dense algorithms are the
+// right tool.
+type CMat struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMat returns a zero matrix of the given shape.
+func NewCMat(rows, cols int) *CMat {
+	return &CMat{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *CMat) At(r, c int) complex128 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *CMat) Set(r, c int, v complex128) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy.
+func (m *CMat) Clone() *CMat {
+	out := NewCMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *CMat {
+	m := NewCMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Mul returns a·b. It panics on shape mismatch.
+func (m *CMat) Mul(b *CMat) *CMat {
+	if m.Cols != b.Rows {
+		panic("phy: matrix shape mismatch in Mul")
+	}
+	out := NewCMat(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns a·x for a vector x of length Cols.
+func (m *CMat) MulVec(x []complex128) []complex128 {
+	if len(x) != m.Cols {
+		panic("phy: vector length mismatch in MulVec")
+	}
+	out := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s complex128
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			s += a * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Hermitian returns the conjugate transpose aᴴ.
+func (m *CMat) Hermitian() *CMat {
+	out := NewCMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, cmplx.Conj(m.At(i, j)))
+		}
+	}
+	return out
+}
+
+// AddScaledIdentity returns m + s·I for square m.
+func (m *CMat) AddScaledIdentity(s complex128) *CMat {
+	if m.Rows != m.Cols {
+		panic("phy: AddScaledIdentity on non-square matrix")
+	}
+	out := m.Clone()
+	for i := 0; i < m.Rows; i++ {
+		out.Data[i*m.Cols+i] += s
+	}
+	return out
+}
+
+// ErrSingularMatrix is returned when inversion fails.
+var ErrSingularMatrix = errors.New("phy: singular matrix")
+
+// Inverse returns m⁻¹ via Gauss-Jordan elimination with partial pivoting.
+func (m *CMat) Inverse() (*CMat, error) {
+	if m.Rows != m.Cols {
+		return nil, errors.New("phy: inverse of non-square matrix")
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Pivot on largest magnitude.
+		best := col
+		bestMag := cmplx.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if mag := cmplx.Abs(a.At(r, col)); mag > bestMag {
+				best, bestMag = r, mag
+			}
+		}
+		if bestMag < 1e-12 {
+			return nil, ErrSingularMatrix
+		}
+		if best != col {
+			swapRows(a, col, best)
+			swapRows(inv, col, best)
+		}
+		pivInv := 1 / a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)*pivInv)
+			inv.Set(col, j, inv.At(col, j)*pivInv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+				inv.Set(r, j, inv.At(r, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+// PseudoInverse returns the Moore-Penrose pseudo-inverse
+// (aᴴa)⁻¹aᴴ for tall/square full-column-rank matrices, or aᴴ(aaᴴ)⁻¹ for
+// wide matrices. Zero-forcing precoders and equalizers are built from this.
+func (m *CMat) PseudoInverse() (*CMat, error) {
+	if m.Rows >= m.Cols {
+		h := m.Hermitian()
+		gram := h.Mul(m)
+		inv, err := gram.Inverse()
+		if err != nil {
+			return nil, err
+		}
+		return inv.Mul(h), nil
+	}
+	h := m.Hermitian()
+	gram := m.Mul(h)
+	inv, err := gram.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	return h.Mul(inv), nil
+}
+
+func swapRows(m *CMat, a, b int) {
+	ra := m.Data[a*m.Cols : (a+1)*m.Cols]
+	rb := m.Data[b*m.Cols : (b+1)*m.Cols]
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}

@@ -1,0 +1,170 @@
+package phy
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT implements the radix-2 decimation-in-time fast Fourier transform used
+// by the OFDM (de)modulation stages (the TaskFFT/TaskIFFT nodes of the slot
+// DAGs). Sizes must be powers of two; NR's 100 MHz/30 kHz numerology uses
+// 4096-point transforms.
+type FFT struct {
+	n       int
+	rev     []int
+	twiddle []complex128 // forward twiddles W_n^k = exp(-2πik/n)
+}
+
+// NewFFT precomputes bit-reversal and twiddle tables for size n.
+func NewFFT(n int) (*FFT, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, errors.New("phy: FFT size must be a power of two")
+	}
+	f := &FFT{n: n, rev: make([]int, n), twiddle: make([]complex128, n/2)}
+	shift := 64 - uint(bits.Len64(uint64(n-1)))
+	for i := range f.rev {
+		f.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	for k := range f.twiddle {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		f.twiddle[k] = cmplx.Exp(complex(0, angle))
+	}
+	return f, nil
+}
+
+// Size returns the transform length.
+func (f *FFT) Size() int { return f.n }
+
+// Forward computes the DFT of x in place (x must have length Size).
+func (f *FFT) Forward(x []complex128) error { return f.transform(x, false) }
+
+// Inverse computes the inverse DFT of x in place, including the 1/n
+// normalization.
+func (f *FFT) Inverse(x []complex128) error {
+	if err := f.transform(x, true); err != nil {
+		return err
+	}
+	scale := complex(1/float64(f.n), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+	return nil
+}
+
+func (f *FFT) transform(x []complex128, inverse bool) error {
+	if len(x) != f.n {
+		return errors.New("phy: FFT input length mismatch")
+	}
+	// Bit-reversal permutation.
+	for i, j := range f.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative butterflies.
+	for size := 2; size <= f.n; size <<= 1 {
+		half := size >> 1
+		step := f.n / size
+		for start := 0; start < f.n; start += size {
+			for k := 0; k < half; k++ {
+				w := f.twiddle[k*step]
+				if inverse {
+					w = cmplx.Conj(w)
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+	return nil
+}
+
+// OFDM performs cyclic-prefix OFDM modulation and demodulation: the
+// per-antenna IFFT/FFT work of the downlink and uplink DAG edges.
+type OFDM struct {
+	fft      *FFT
+	cpLen    int
+	carriers int // active subcarriers, centered around DC
+	// norm scales the time-domain signal to unit average sample power for
+	// unit-power constellation symbols, so channel SNR references hold.
+	norm float64
+}
+
+// NewOFDM builds an OFDM (de)modulator with fftSize points, cpLen
+// cyclic-prefix samples and the given number of active subcarriers.
+func NewOFDM(fftSize, cpLen, carriers int) (*OFDM, error) {
+	f, err := NewFFT(fftSize)
+	if err != nil {
+		return nil, err
+	}
+	if cpLen < 0 || cpLen >= fftSize {
+		return nil, errors.New("phy: invalid cyclic prefix length")
+	}
+	if carriers <= 0 || carriers > fftSize {
+		return nil, errors.New("phy: invalid carrier count")
+	}
+	return &OFDM{
+		fft:      f,
+		cpLen:    cpLen,
+		carriers: carriers,
+		norm:     float64(fftSize) / math.Sqrt(float64(carriers)),
+	}, nil
+}
+
+// SymbolLength returns the time-domain samples per OFDM symbol.
+func (o *OFDM) SymbolLength() int { return o.fft.n + o.cpLen }
+
+// carrierIndex maps active subcarrier c (0..carriers-1) to an FFT bin,
+// splitting around DC as NR resource grids do.
+func (o *OFDM) carrierIndex(c int) int {
+	half := o.carriers / 2
+	if c < half {
+		return o.fft.n - half + c // negative frequencies
+	}
+	return c - half // DC and positive frequencies
+}
+
+// Modulate maps frequency-domain symbols (one per active subcarrier) to a
+// time-domain OFDM symbol with cyclic prefix.
+func (o *OFDM) Modulate(symbols []complex128) ([]complex128, error) {
+	if len(symbols) != o.carriers {
+		return nil, errors.New("phy: OFDM modulate carrier count mismatch")
+	}
+	grid := make([]complex128, o.fft.n)
+	for c, s := range symbols {
+		grid[o.carrierIndex(c)] = s
+	}
+	if err := o.fft.Inverse(grid); err != nil {
+		return nil, err
+	}
+	scale := complex(o.norm, 0)
+	for i := range grid {
+		grid[i] *= scale
+	}
+	out := make([]complex128, 0, o.SymbolLength())
+	out = append(out, grid[o.fft.n-o.cpLen:]...)
+	out = append(out, grid...)
+	return out, nil
+}
+
+// Demodulate strips the cyclic prefix and returns the active-subcarrier
+// frequency-domain symbols.
+func (o *OFDM) Demodulate(samples []complex128) ([]complex128, error) {
+	if len(samples) != o.SymbolLength() {
+		return nil, errors.New("phy: OFDM demodulate length mismatch")
+	}
+	grid := append([]complex128(nil), samples[o.cpLen:]...)
+	if err := o.fft.Forward(grid); err != nil {
+		return nil, err
+	}
+	scale := complex(1/o.norm, 0)
+	out := make([]complex128, o.carriers)
+	for c := range out {
+		out[c] = grid[o.carrierIndex(c)] * scale
+	}
+	return out, nil
+}

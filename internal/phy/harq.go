@@ -1,0 +1,87 @@
+package phy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// HARQProcess implements hybrid-ARQ with chase combining for one transport
+// block codeword: every retransmission's LLRs are accumulated into the
+// mother-code buffer before decoding, so each attempt decodes from a higher
+// effective SNR. Retransmissions are a major source of decode-runtime
+// variance (more iterations on marginal combined LLRs), which is part of
+// why the paper's WCET predictions must be input-parameterized.
+type HARQProcess struct {
+	code    *LDPCCode
+	rm      *RateMatcher
+	maxTx   int
+	acc     []float64
+	txCount int
+	done    bool
+}
+
+// NewHARQProcess creates a process for the given code and rate matcher with
+// at most maxTx transmissions (NR allows 4 by default).
+func NewHARQProcess(code *LDPCCode, rm *RateMatcher, maxTx int) (*HARQProcess, error) {
+	if code == nil || rm == nil {
+		return nil, errors.New("phy: HARQ needs a code and rate matcher")
+	}
+	if rm.N != code.N() {
+		return nil, fmt.Errorf("phy: rate matcher N=%d does not match code N=%d", rm.N, code.N())
+	}
+	if maxTx < 1 {
+		maxTx = 1
+	}
+	return &HARQProcess{
+		code:  code,
+		rm:    rm,
+		maxTx: maxTx,
+		acc:   make([]float64, code.N()),
+	}, nil
+}
+
+// TxCount returns the number of transmissions received so far.
+func (h *HARQProcess) TxCount() int { return h.txCount }
+
+// Done reports whether the block decoded successfully.
+func (h *HARQProcess) Done() bool { return h.done }
+
+// ErrHARQExhausted is returned when maxTx transmissions failed.
+var ErrHARQExhausted = errors.New("phy: HARQ transmissions exhausted")
+
+// Receive combines one (re)transmission's rate-matched LLRs and attempts a
+// decode. It returns the decode result; res.Converged reports success (ACK).
+// After success or exhaustion, further calls return an error.
+func (h *HARQProcess) Receive(llr []float64) (*DecodeResult, error) {
+	if h.done {
+		return nil, errors.New("phy: HARQ process already completed")
+	}
+	if h.txCount >= h.maxTx {
+		return nil, ErrHARQExhausted
+	}
+	dematched, err := h.rm.Dematch(llr)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range dematched {
+		h.acc[i] += v
+	}
+	h.txCount++
+	res, err := h.code.Decode(h.acc)
+	if err != nil {
+		return nil, err
+	}
+	if res.Converged {
+		h.done = true
+	}
+	return res, nil
+}
+
+// Reset clears the soft buffer for a new transport block.
+func (h *HARQProcess) Reset() {
+	for i := range h.acc {
+		h.acc[i] = 0
+	}
+	h.txCount = 0
+	h.done = false
+}

@@ -1,0 +1,146 @@
+package phy
+
+import (
+	"testing"
+
+	"concordia/internal/rng"
+)
+
+func harqSetup(t *testing.T) (*LDPCCode, *RateMatcher) {
+	t.Helper()
+	code, err := NewLDPCCode(256, 128, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := NewRateMatcher(code.N(), code.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, rm
+}
+
+func TestHARQValidation(t *testing.T) {
+	code, _ := harqSetup(t)
+	if _, err := NewHARQProcess(nil, nil, 4); err == nil {
+		t.Fatal("nil inputs accepted")
+	}
+	badRM, _ := NewRateMatcher(10, 10)
+	if _, err := NewHARQProcess(code, badRM, 4); err == nil {
+		t.Fatal("mismatched rate matcher accepted")
+	}
+}
+
+func TestHARQFirstTxSuccessAtHighSNR(t *testing.T) {
+	code, rm := harqSetup(t)
+	h, err := NewHARQProcess(code, rm, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	info := randomBits(r, 256)
+	cw, _ := code.Encode(info)
+	tx, _ := rm.Match(cw)
+	res, err := h.Receive(codewordLLR(tx, 8, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !h.Done() || h.TxCount() != 1 {
+		t.Fatalf("high-SNR first transmission failed: converged=%v", res.Converged)
+	}
+	for i := range info {
+		if res.Info[i] != info[i] {
+			t.Fatal("decoded bits wrong")
+		}
+	}
+}
+
+func TestHARQCombiningGain(t *testing.T) {
+	// At an SNR where a single transmission usually fails, two chase-combined
+	// copies must usually succeed (3 dB combining gain).
+	code, rm := harqSetup(t)
+	r := rng.New(2)
+	const snr = -2.0
+	const trials = 15
+	firstTry, afterCombining := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		h, _ := NewHARQProcess(code, rm, 4)
+		info := randomBits(r, 256)
+		cw, _ := code.Encode(info)
+		tx, _ := rm.Match(cw)
+		res, err := h.Receive(codewordLLR(tx, snr, r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Converged {
+			firstTry++
+			continue
+		}
+		for !h.Done() && h.TxCount() < 4 {
+			res, err = h.Receive(codewordLLR(tx, snr, r))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if h.Done() {
+			afterCombining++
+		}
+	}
+	if firstTry > trials/2 {
+		t.Skipf("SNR too benign for this code: %d/%d first-try", firstTry, trials)
+	}
+	if afterCombining < (trials-firstTry)/2 {
+		t.Fatalf("combining rescued only %d of %d failed blocks", afterCombining, trials-firstTry)
+	}
+}
+
+func TestHARQExhaustion(t *testing.T) {
+	code, rm := harqSetup(t)
+	h, _ := NewHARQProcess(code, rm, 2)
+	r := rng.New(3)
+	info := randomBits(r, 256)
+	cw, _ := code.Encode(info)
+	tx, _ := rm.Match(cw)
+	// Hopeless SNR: both attempts fail, third returns exhaustion.
+	for i := 0; i < 2; i++ {
+		res, err := h.Receive(codewordLLR(tx, -15, r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Converged {
+			t.Skip("decode at -15 dB unexpectedly converged")
+		}
+	}
+	if _, err := h.Receive(codewordLLR(tx, -15, r)); err != ErrHARQExhausted {
+		t.Fatalf("got %v want ErrHARQExhausted", err)
+	}
+}
+
+func TestHARQReset(t *testing.T) {
+	code, rm := harqSetup(t)
+	h, _ := NewHARQProcess(code, rm, 4)
+	r := rng.New(4)
+	info := randomBits(r, 256)
+	cw, _ := code.Encode(info)
+	tx, _ := rm.Match(cw)
+	if _, err := h.Receive(codewordLLR(tx, 8, r)); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Done() {
+		t.Skip("first decode failed at 8 dB")
+	}
+	h.Reset()
+	if h.Done() || h.TxCount() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	// The process is reusable for a fresh block.
+	info2 := randomBits(r, 256)
+	cw2, _ := code.Encode(info2)
+	tx2, _ := rm.Match(cw2)
+	res, err := h.Receive(codewordLLR(tx2, 8, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("reused process failed to decode")
+	}
+}

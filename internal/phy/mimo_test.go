@@ -1,0 +1,248 @@
+package phy
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"concordia/internal/rng"
+)
+
+func TestCMatIdentityMul(t *testing.T) {
+	r := rng.New(1)
+	a := NewCMat(3, 3)
+	for i := range a.Data {
+		a.Data[i] = complex(r.Normal(0, 1), r.Normal(0, 1))
+	}
+	got := a.Mul(Identity(3))
+	for i := range got.Data {
+		if got.Data[i] != a.Data[i] {
+			t.Fatal("A·I != A")
+		}
+	}
+}
+
+func TestCMatInverse(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(5)
+		a := NewCMat(n, n)
+		for i := range a.Data {
+			a.Data[i] = complex(r.Normal(0, 1), r.Normal(0, 1))
+		}
+		inv, err := a.Inverse()
+		if err != nil {
+			continue // singular draw; astronomically unlikely but legal
+		}
+		prod := a.Mul(inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := complex128(0)
+				if i == j {
+					want = 1
+				}
+				if cmplx.Abs(prod.At(i, j)-want) > 1e-9 {
+					t.Fatalf("A·A⁻¹ not identity at (%d,%d): %v", i, j, prod.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCMatInverseSingular(t *testing.T) {
+	a := NewCMat(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := a.Inverse(); err == nil {
+		t.Fatal("singular matrix inverted")
+	}
+}
+
+func TestPseudoInverseTall(t *testing.T) {
+	r := rng.New(3)
+	a := NewCMat(4, 2)
+	for i := range a.Data {
+		a.Data[i] = complex(r.Normal(0, 1), r.Normal(0, 1))
+	}
+	p, err := a.PseudoInverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left inverse: P·A = I.
+	prod := p.Mul(a)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(prod.At(i, j)-want) > 1e-9 {
+				t.Fatalf("P·A not identity: %v", prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestPseudoInverseWide(t *testing.T) {
+	r := rng.New(4)
+	a := NewCMat(2, 4)
+	for i := range a.Data {
+		a.Data[i] = complex(r.Normal(0, 1), r.Normal(0, 1))
+	}
+	p, err := a.PseudoInverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Right inverse: A·P = I.
+	prod := a.Mul(p)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(prod.At(i, j)-want) > 1e-9 {
+				t.Fatalf("A·P not identity: %v", prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestChannelEstimatorPerfectPilots(t *testing.T) {
+	e, err := NewChannelEstimator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 48
+	// Smooth synthetic channel: linear phase ramp.
+	truth := make([]complex128, n)
+	for i := range truth {
+		truth[i] = cmplx.Exp(complex(0, 0.02*float64(i))) * complex(1+0.002*float64(i), 0)
+	}
+	pos := e.PilotPositions(n)
+	tx := make([]complex128, len(pos))
+	rx := make([]complex128, len(pos))
+	for i, p := range pos {
+		tx[i] = complex(1, 0)
+		rx[i] = truth[p]
+	}
+	est, err := e.Estimate(n, rx, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse := MSE(est, truth); mse > 1e-3 {
+		t.Fatalf("estimation MSE %v too large for smooth channel", mse)
+	}
+}
+
+func TestChannelEstimatorErrors(t *testing.T) {
+	if _, err := NewChannelEstimator(0); err == nil {
+		t.Fatal("zero spacing accepted")
+	}
+	e, _ := NewChannelEstimator(2)
+	if _, err := e.Estimate(10, make([]complex128, 2), make([]complex128, 5)); err == nil {
+		t.Fatal("mismatched pilot counts accepted")
+	}
+	if _, err := e.Estimate(4, []complex128{1, 0}, []complex128{0, 1}); err == nil {
+		t.Fatal("zero pilot accepted")
+	}
+}
+
+func TestMMSEEqualizationRecovers(t *testing.T) {
+	r := rng.New(5)
+	fading := NewRayleighBlockFading(4, 2, 25, r)
+	h := fading.Draw()
+	// Two spatial layers of QPSK.
+	bits := randomBits(r, 2*2*500)
+	syms, _ := QPSK.Modulate(bits)
+	vecs := make([][]complex128, len(syms)/2)
+	for i := range vecs {
+		vecs[i] = []complex128{syms[2*i], syms[2*i+1]}
+	}
+	rx := fading.Transmit(h, vecs)
+	eq := &Equalizer{NoiseVar: fading.NoiseVar}
+	est, err := eq.Equalize(h, rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hard-decide per layer; error rate should be small at 25 dB.
+	var flat []complex128
+	for _, v := range est {
+		flat = append(flat, v...)
+	}
+	llr, _ := QPSK.DemodulateLLR(flat, fading.NoiseVar)
+	errors := 0
+	for i, b := range HardDecision(llr) {
+		if b != bits[i] {
+			errors++
+		}
+	}
+	if ber := float64(errors) / float64(len(bits)); ber > 0.05 {
+		t.Fatalf("MMSE 2x4 BER %v too high at 25 dB", ber)
+	}
+}
+
+func TestZFPrecodingCancelsInterference(t *testing.T) {
+	r := rng.New(6)
+	// 2 single-antenna users, 4 tx antennas.
+	fading := NewRayleighBlockFading(2, 4, 30, r)
+	h := fading.Draw()
+	p, err := ZFPrecoder{}.Weights(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Effective channel H·P should be diagonal (up to the power scaling).
+	eff := h.Mul(p)
+	offDiag := cmplx.Abs(eff.At(0, 1)) + cmplx.Abs(eff.At(1, 0))
+	onDiag := cmplx.Abs(eff.At(0, 0)) + cmplx.Abs(eff.At(1, 1))
+	if offDiag > 1e-9*onDiag+1e-9 {
+		t.Fatalf("ZF residual interference %v vs signal %v", offDiag, onDiag)
+	}
+}
+
+func TestZFPrecoderPowerNormalized(t *testing.T) {
+	r := rng.New(7)
+	fading := NewRayleighBlockFading(2, 4, 30, r)
+	h := fading.Draw()
+	p, _ := ZFPrecoder{}.Weights(h)
+	var f float64
+	for _, v := range p.Data {
+		f += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(f-2) > 1e-9 {
+		t.Fatalf("precoder Frobenius norm² %v want 2 (streams)", f)
+	}
+}
+
+func TestAWGNNoiseVariance(t *testing.T) {
+	r := rng.New(8)
+	ch := NewAWGNChannel(10, r)
+	zeros := make([]complex128, 100000)
+	noisy := ch.Transmit(zeros)
+	var p float64
+	for _, s := range noisy {
+		p += real(s)*real(s) + imag(s)*imag(s)
+	}
+	p /= float64(len(noisy))
+	if math.Abs(p-ch.NoiseVar)/ch.NoiseVar > 0.05 {
+		t.Fatalf("measured noise power %v want %v", p, ch.NoiseVar)
+	}
+}
+
+func BenchmarkMMSEEqualize4x4(b *testing.B) {
+	r := rng.New(1)
+	fading := NewRayleighBlockFading(4, 4, 20, r)
+	h := fading.Draw()
+	vec := make([][]complex128, 128)
+	for i := range vec {
+		vec[i] = []complex128{1, 1i, -1, -1i}
+	}
+	rx := fading.Transmit(h, vec)
+	eq := &Equalizer{NoiseVar: fading.NoiseVar}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = eq.Equalize(h, rx)
+	}
+}

@@ -1,0 +1,159 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PolarCode implements Arikan polar coding as used by 5G NR control
+// channels: butterfly encoding with a frozen-bit set chosen by Bhattacharyya
+// parameter ordering, and successive-cancellation (SC) decoding.
+type PolarCode struct {
+	N      int // block length, a power of two
+	K      int // information bits
+	frozen []bool
+	// infoPos lists the K reliable positions in increasing index order.
+	infoPos []int
+}
+
+// NewPolarCode constructs an (N, K) polar code. designSNRdB sets the channel
+// assumed during reliability ordering; 0 dB is the conventional default.
+func NewPolarCode(n, k int, designSNRdB float64) (*PolarCode, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("phy: polar block length %d is not a power of two", n)
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("phy: polar K=%d out of range for N=%d", k, n)
+	}
+	// Bhattacharyya parameter evolution for a BI-AWGN channel approximated
+	// as a BEC with matching initial parameter.
+	z0 := math.Exp(-math.Pow(10, designSNRdB/10))
+	z := make([]float64, n)
+	z[0] = z0
+	for span := 1; span < n; span *= 2 {
+		for i := span - 1; i >= 0; i-- {
+			v := z[i]
+			z[2*i] = 2*v - v*v // worse (check) channel
+			z[2*i+1] = v * v   // better (bit) channel
+		}
+	}
+	// The K smallest-Z positions carry information.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return z[idx[a]] < z[idx[b]] })
+	c := &PolarCode{N: n, K: k, frozen: make([]bool, n)}
+	for i := range c.frozen {
+		c.frozen[i] = true
+	}
+	info := append([]int(nil), idx[:k]...)
+	sort.Ints(info)
+	for _, p := range info {
+		c.frozen[p] = false
+	}
+	c.infoPos = info
+	return c, nil
+}
+
+// Rate returns K/N.
+func (c *PolarCode) Rate() float64 { return float64(c.K) / float64(c.N) }
+
+// Encode maps K information bits to an N-bit polar codeword.
+func (c *PolarCode) Encode(info []byte) ([]byte, error) {
+	if len(info) != c.K {
+		return nil, fmt.Errorf("phy: polar encode wants %d bits, got %d", c.K, len(info))
+	}
+	u := make([]byte, c.N)
+	for i, p := range c.infoPos {
+		u[p] = info[i] & 1
+	}
+	// Butterfly: x = u · G_N where G_N = F^{⊗log2 N}, computed in place.
+	x := u
+	for span := 1; span < c.N; span *= 2 {
+		for i := 0; i < c.N; i += 2 * span {
+			for j := i; j < i+span; j++ {
+				x[j] ^= x[j+span]
+			}
+		}
+	}
+	return x, nil
+}
+
+// Decode runs successive-cancellation decoding on channel LLRs (positive ⇒
+// bit 0) and returns the K recovered information bits.
+func (c *PolarCode) Decode(llr []float64) ([]byte, error) {
+	if len(llr) != c.N {
+		return nil, fmt.Errorf("phy: polar decode wants %d LLRs, got %d", c.N, len(llr))
+	}
+	d := &scDecoder{code: c, u: make([]byte, c.N)}
+	d.decode(append([]float64(nil), llr...))
+	out := make([]byte, c.K)
+	for i, p := range c.infoPos {
+		out[i] = d.u[p]
+	}
+	return out, nil
+}
+
+type scDecoder struct {
+	code *PolarCode
+	pos  int
+	u    []byte // decided u-domain bits, indexed by global position
+}
+
+// decode performs recursive SC decoding over the given LLR block. It records
+// u-domain decisions in d.u and returns the x-domain partial sums of the
+// block, which the parent stage needs for its g-function.
+func (d *scDecoder) decode(llr []float64) []byte {
+	n := len(llr)
+	if n == 1 {
+		bit := byte(0)
+		if d.code.frozen[d.pos] {
+			// Frozen bits are known zeros.
+		} else if llr[0] < 0 {
+			bit = 1
+		}
+		d.u[d.pos] = bit
+		d.pos++
+		return []byte{bit}
+	}
+	half := n / 2
+	// f: min-sum approximation of the check-node combine.
+	f := make([]float64, half)
+	for i := 0; i < half; i++ {
+		a, b := llr[i], llr[i+half]
+		s := 1.0
+		if a < 0 {
+			s = -s
+			a = -a
+		}
+		if b < 0 {
+			s = -s
+			b = -b
+		}
+		m := a
+		if b < m {
+			m = b
+		}
+		f[i] = s * m
+	}
+	u1 := d.decode(f)
+	// g: bit-node combine given the decisions u1.
+	g := make([]float64, half)
+	for i := 0; i < half; i++ {
+		if u1[i] == 1 {
+			g[i] = llr[i+half] - llr[i]
+		} else {
+			g[i] = llr[i+half] + llr[i]
+		}
+	}
+	u2 := d.decode(g)
+	// Partial sums for the parent: [β1 ⊕ β2 | β2].
+	out := make([]byte, n)
+	for i := 0; i < half; i++ {
+		out[i] = u1[i] ^ u2[i]
+		out[i+half] = u2[i]
+	}
+	return out
+}

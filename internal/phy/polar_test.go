@@ -1,0 +1,131 @@
+package phy
+
+import (
+	"testing"
+
+	"concordia/internal/rng"
+)
+
+func TestPolarConstruction(t *testing.T) {
+	c, err := NewPolarCode(128, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rate() != 0.5 {
+		t.Fatalf("rate %v", c.Rate())
+	}
+	frozen := 0
+	for _, f := range c.frozen {
+		if f {
+			frozen++
+		}
+	}
+	if frozen != 64 {
+		t.Fatalf("frozen count %d want 64", frozen)
+	}
+}
+
+func TestPolarInvalidParams(t *testing.T) {
+	if _, err := NewPolarCode(100, 50, 0); err == nil {
+		t.Fatal("non-power-of-two N accepted")
+	}
+	if _, err := NewPolarCode(64, 0, 0); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := NewPolarCode(64, 65, 0); err == nil {
+		t.Fatal("K>N accepted")
+	}
+}
+
+func TestPolarEncodeDeterministic(t *testing.T) {
+	c, _ := NewPolarCode(64, 32, 0)
+	r := rng.New(1)
+	info := randomBits(r, 32)
+	a, _ := c.Encode(info)
+	b, _ := c.Encode(info)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("encode not deterministic")
+		}
+	}
+}
+
+func TestPolarNoiselessRoundTrip(t *testing.T) {
+	for _, shape := range []struct{ n, k int }{{32, 16}, {64, 32}, {128, 40}, {256, 128}} {
+		c, err := NewPolarCode(shape.n, shape.k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(uint64(shape.n))
+		for trial := 0; trial < 10; trial++ {
+			info := randomBits(r, shape.k)
+			cw, err := c.Encode(info)
+			if err != nil {
+				t.Fatal(err)
+			}
+			llr := make([]float64, len(cw))
+			for i, b := range cw {
+				llr[i] = 10
+				if b == 1 {
+					llr[i] = -10
+				}
+			}
+			got, err := c.Decode(llr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range info {
+				if got[i] != info[i] {
+					t.Fatalf("(%d,%d) noiseless round trip failed", shape.n, shape.k)
+				}
+			}
+		}
+	}
+}
+
+func TestPolarNoisyDecode(t *testing.T) {
+	c, _ := NewPolarCode(256, 64, 0) // strong low-rate code
+	r := rng.New(9)
+	failures := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		info := randomBits(r, 64)
+		cw, _ := c.Encode(info)
+		llr := codewordLLR(cw, 3, r)
+		got, err := c.Decode(llr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range info {
+			if got[i] != info[i] {
+				failures++
+				break
+			}
+		}
+	}
+	if failures > trials/3 {
+		t.Fatalf("%d/%d noisy decodes failed at 3 dB with rate-1/4 code", failures, trials)
+	}
+}
+
+func TestPolarEncodeWrongLength(t *testing.T) {
+	c, _ := NewPolarCode(64, 32, 0)
+	if _, err := c.Encode(make([]byte, 10)); err == nil {
+		t.Fatal("wrong-length encode accepted")
+	}
+	if _, err := c.Decode(make([]float64, 10)); err == nil {
+		t.Fatal("wrong-length decode accepted")
+	}
+}
+
+func BenchmarkPolarDecode256(b *testing.B) {
+	c, _ := NewPolarCode(256, 128, 0)
+	r := rng.New(1)
+	info := randomBits(r, 128)
+	cw, _ := c.Encode(info)
+	llr := codewordLLR(cw, 6, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Decode(llr)
+	}
+}

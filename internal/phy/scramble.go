@@ -1,0 +1,94 @@
+package phy
+
+import "errors"
+
+// GoldSequence generates the length-31 Gold pseudo-random sequence of
+// TS 38.211 §5.2.1, used for scrambling data channels before modulation.
+// x1 is fixed-seeded; x2 carries the initialization c_init (RNTI, cell ID
+// and codeword index in the standard).
+type GoldSequence struct {
+	x1, x2 uint32
+}
+
+// goldAdvance is the standard Nc = 1600 fast-forward applied before output.
+const goldAdvance = 1600
+
+// NewGoldSequence returns a generator initialized with c_init.
+func NewGoldSequence(cInit uint32) *GoldSequence {
+	g := &GoldSequence{x1: 1, x2: cInit & 0x7fffffff}
+	for i := 0; i < goldAdvance; i++ {
+		g.step()
+	}
+	return g
+}
+
+// step advances both LFSRs one position and returns the output bit.
+func (g *GoldSequence) step() byte {
+	out := byte((g.x1 ^ g.x2) & 1)
+	// x1: x^31 + x^3 + 1
+	fb1 := ((g.x1 >> 3) ^ g.x1) & 1
+	g.x1 = (g.x1 >> 1) | (fb1 << 30)
+	// x2: x^31 + x^3 + x^2 + x + 1
+	fb2 := ((g.x2 >> 3) ^ (g.x2 >> 2) ^ (g.x2 >> 1) ^ g.x2) & 1
+	g.x2 = (g.x2 >> 1) | (fb2 << 30)
+	return out
+}
+
+// Next returns the next sequence bit.
+func (g *GoldSequence) Next() byte { return g.step() }
+
+// Bits returns the next n sequence bits.
+func (g *GoldSequence) Bits(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = g.step()
+	}
+	return out
+}
+
+// Scrambler applies Gold-sequence scrambling to codeword bits — part of the
+// TaskModulation stage of the downlink DAG (and its inverse on the uplink).
+type Scrambler struct {
+	cInit uint32
+}
+
+// NewScrambler returns a scrambler for the given c_init.
+func NewScrambler(cInit uint32) *Scrambler { return &Scrambler{cInit: cInit} }
+
+// Scramble XORs the payload with the scrambling sequence. Scrambling is an
+// involution: applying it twice with the same c_init restores the input.
+func (s *Scrambler) Scramble(bits []byte) []byte {
+	g := NewGoldSequence(s.cInit)
+	out := make([]byte, len(bits))
+	for i, b := range bits {
+		out[i] = (b & 1) ^ g.Next()
+	}
+	return out
+}
+
+// ScrambleLLR applies descrambling in the soft domain: sequence bit 1 flips
+// the LLR sign.
+func (s *Scrambler) ScrambleLLR(llr []float64) []float64 {
+	g := NewGoldSequence(s.cInit)
+	out := make([]float64, len(llr))
+	for i, v := range llr {
+		if g.Next() == 1 {
+			out[i] = -v
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// CInitFor computes the standard data-channel c_init from RNTI, codeword
+// index q and cell identity: c_init = rnti·2^15 + q·2^14 + cellID.
+func CInitFor(rnti uint16, codeword int, cellID uint16) (uint32, error) {
+	if codeword < 0 || codeword > 1 {
+		return 0, errors.New("phy: codeword index must be 0 or 1")
+	}
+	if cellID > 1007 {
+		return 0, errors.New("phy: cell identity out of range")
+	}
+	return uint32(rnti)<<15 | uint32(codeword)<<14 | uint32(cellID), nil
+}

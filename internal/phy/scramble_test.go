@@ -1,0 +1,123 @@
+package phy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"concordia/internal/rng"
+)
+
+func TestGoldSequenceBalance(t *testing.T) {
+	g := NewGoldSequence(12345)
+	const n = 100000
+	ones := 0
+	for i := 0; i < n; i++ {
+		if g.Next() == 1 {
+			ones++
+		}
+	}
+	// A Gold sequence is balanced to within statistical noise.
+	if ones < n*48/100 || ones > n*52/100 {
+		t.Fatalf("sequence imbalance: %d ones of %d", ones, n)
+	}
+}
+
+func TestGoldSequenceDistinctSeeds(t *testing.T) {
+	a := NewGoldSequence(1).Bits(256)
+	b := NewGoldSequence(2).Bits(256)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 180 {
+		t.Fatalf("different c_init sequences agree on %d/256 bits", same)
+	}
+}
+
+func TestGoldSequenceDeterministic(t *testing.T) {
+	a := NewGoldSequence(777).Bits(100)
+	b := NewGoldSequence(777).Bits(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same c_init produced different sequences")
+		}
+	}
+}
+
+func TestScrambleInvolution(t *testing.T) {
+	r := rng.New(1)
+	err := quick.Check(func(seed uint32) bool {
+		s := NewScrambler(seed & 0x7fffffff)
+		bits := randomBits(r, 200)
+		twice := s.Scramble(s.Scramble(bits))
+		for i := range bits {
+			if twice[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrambleChangesBits(t *testing.T) {
+	s := NewScrambler(99)
+	bits := make([]byte, 500) // all zero
+	out := s.Scramble(bits)
+	flips := 0
+	for _, b := range out {
+		if b == 1 {
+			flips++
+		}
+	}
+	if flips < 200 || flips > 300 {
+		t.Fatalf("scrambler flipped %d/500 zero bits", flips)
+	}
+}
+
+func TestScrambleLLRConsistent(t *testing.T) {
+	// Descrambling in the soft domain must match hard-domain scrambling.
+	s := NewScrambler(4321)
+	r := rng.New(2)
+	bits := randomBits(r, 300)
+	scrambled := s.Scramble(bits)
+	// Turn scrambled bits into strong LLRs.
+	llr := make([]float64, len(scrambled))
+	for i, b := range scrambled {
+		llr[i] = 5
+		if b == 1 {
+			llr[i] = -5
+		}
+	}
+	descrambled := s.ScrambleLLR(llr)
+	for i, v := range descrambled {
+		var got byte
+		if v < 0 {
+			got = 1
+		}
+		if got != bits[i] {
+			t.Fatalf("soft descrambling mismatch at %d", i)
+		}
+	}
+}
+
+func TestCInitFor(t *testing.T) {
+	c, err := CInitFor(0x1234, 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint32(0x1234)<<15 | 1<<14 | 500
+	if c != want {
+		t.Fatalf("c_init %#x want %#x", c, want)
+	}
+	if _, err := CInitFor(1, 2, 0); err == nil {
+		t.Fatal("codeword 2 accepted")
+	}
+	if _, err := CInitFor(1, 0, 2000); err == nil {
+		t.Fatal("cell id 2000 accepted")
+	}
+}

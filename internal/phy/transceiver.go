@@ -1,0 +1,205 @@
+package phy
+
+import (
+	"errors"
+	"fmt"
+
+	"concordia/internal/rng"
+)
+
+// Transceiver composes the full downlink-style data path end to end:
+//
+//	TX: segmentation → LDPC encode → rate match → scramble → QAM → OFDM
+//	RX: OFDM⁻¹ → LLR demap → descramble → rate dematch → LDPC decode →
+//	    desegmentation (CRC checks)
+//
+// It is the executable form of the slot DAGs the scheduler reasons about:
+// every Task kind in ran.BuildDownlinkDAG/BuildUplinkDAG corresponds to a
+// stage here. The cost model's input-dependence (codeblock counts, SNR →
+// iterations) is calibrated against this pipeline's real behaviour (the
+// "calibration" experiment).
+type Transceiver struct {
+	Mod       Modulation
+	seg       *Segmentation
+	code      *LDPCCode
+	rm        *RateMatcher
+	scrambler *Scrambler
+	ofdm      *OFDM
+	// symbols per transport block after rate matching.
+	paddedBits int
+}
+
+// TransceiverConfig sizes the chain.
+type TransceiverConfig struct {
+	TBBits   int        // transport block payload bits
+	Mod      Modulation // constellation
+	CodeRate float64    // target rate after matching (0 < r < 1)
+	CInit    uint32     // scrambling seed
+	FFTSize  int        // OFDM transform size
+	CPLen    int        // cyclic prefix samples
+	Carriers int        // active subcarriers
+	LDPCSeed uint64     // parity construction seed
+}
+
+// NewTransceiver validates and assembles the chain.
+func NewTransceiver(cfg TransceiverConfig) (*Transceiver, error) {
+	if cfg.TBBits <= 0 {
+		return nil, errors.New("phy: transceiver needs a positive TB size")
+	}
+	if !cfg.Mod.Valid() {
+		return nil, fmt.Errorf("phy: invalid modulation %d", int(cfg.Mod))
+	}
+	if cfg.CodeRate <= 0 || cfg.CodeRate >= 1 {
+		return nil, errors.New("phy: code rate must be in (0,1)")
+	}
+	seg, err := Segment(cfg.TBBits)
+	if err != nil {
+		return nil, err
+	}
+	k := seg.BlockBits
+	m := k/2 + 4 // mother code rate 2/3 before matching
+	code, err := NewLDPCCode(k, m, cfg.LDPCSeed)
+	if err != nil {
+		return nil, err
+	}
+	// Rate-match each codeblock to hit the target rate, rounded up to a
+	// whole number of QAM symbols.
+	e := int(float64(k) / cfg.CodeRate)
+	if e < code.N()/2 {
+		e = code.N() / 2
+	}
+	bps := cfg.Mod.BitsPerSymbol()
+	if rem := e % bps; rem != 0 {
+		e += bps - rem
+	}
+	rm, err := NewRateMatcher(code.N(), e)
+	if err != nil {
+		return nil, err
+	}
+	ofdm, err := NewOFDM(cfg.FFTSize, cfg.CPLen, cfg.Carriers)
+	if err != nil {
+		return nil, err
+	}
+	return &Transceiver{
+		Mod:        cfg.Mod,
+		seg:        seg,
+		code:       code,
+		rm:         rm,
+		scrambler:  NewScrambler(cfg.CInit),
+		ofdm:       ofdm,
+		paddedBits: e,
+	}, nil
+}
+
+// Codeblocks returns the segmentation's codeblock count.
+func (t *Transceiver) Codeblocks() int { return t.seg.NumBlocks }
+
+// Transmit runs the TX chain, returning time-domain OFDM samples.
+func (t *Transceiver) Transmit(payload []byte) ([]complex128, error) {
+	blocks, err := t.seg.SegmentBits(payload)
+	if err != nil {
+		return nil, err
+	}
+	var coded []byte
+	for _, b := range blocks {
+		cw, err := t.code.Encode(b)
+		if err != nil {
+			return nil, err
+		}
+		matched, err := t.rm.Match(cw)
+		if err != nil {
+			return nil, err
+		}
+		coded = append(coded, matched...)
+	}
+	scrambled := t.scrambler.Scramble(coded)
+	syms, err := t.Mod.Modulate(scrambled)
+	if err != nil {
+		return nil, err
+	}
+	// Pack symbols into OFDM symbols, zero-padding the last.
+	carriers := t.ofdm.carriers
+	var out []complex128
+	for start := 0; start < len(syms); start += carriers {
+		end := start + carriers
+		grid := make([]complex128, carriers)
+		if end > len(syms) {
+			copy(grid, syms[start:])
+		} else {
+			copy(grid, syms[start:end])
+		}
+		td, err := t.ofdm.Modulate(grid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, td...)
+	}
+	return out, nil
+}
+
+// RxResult reports the receive attempt.
+type RxResult struct {
+	Payload []byte
+	OK      bool // all CRCs passed
+	// TotalIterations sums LDPC iterations across codeblocks — the
+	// SNR-dependent runtime driver the WCET predictor must learn.
+	TotalIterations int
+}
+
+// Receive runs the RX chain over time-domain samples with the given channel
+// noise variance.
+func (t *Transceiver) Receive(samples []complex128, noiseVar float64) (*RxResult, error) {
+	symLen := t.ofdm.SymbolLength()
+	if len(samples)%symLen != 0 {
+		return nil, errors.New("phy: samples not a whole number of OFDM symbols")
+	}
+	var syms []complex128
+	for start := 0; start < len(samples); start += symLen {
+		freq, err := t.ofdm.Demodulate(samples[start : start+symLen])
+		if err != nil {
+			return nil, err
+		}
+		syms = append(syms, freq...)
+	}
+	effNoise := noiseVar * float64(t.ofdm.carriers) / float64(t.ofdm.fft.n)
+	llr, err := t.Mod.DemodulateLLR(syms, effNoise)
+	if err != nil {
+		return nil, err
+	}
+	need := t.paddedBits * t.seg.NumBlocks
+	if len(llr) < need {
+		return nil, errors.New("phy: received fewer soft bits than transmitted")
+	}
+	// Trim OFDM grid padding, then descramble and split per codeblock.
+	descrambled := t.scrambler.ScrambleLLR(llr[:need])
+	res := &RxResult{}
+	blocks := make([][]byte, t.seg.NumBlocks)
+	for i := 0; i < t.seg.NumBlocks; i++ {
+		chunk := descrambled[i*t.paddedBits : (i+1)*t.paddedBits]
+		acc, err := t.rm.Dematch(chunk)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := t.code.Decode(acc)
+		if err != nil {
+			return nil, err
+		}
+		res.TotalIterations += dec.Iterations
+		blocks[i] = dec.Info
+	}
+	payload, ok := t.seg.Reassemble(blocks)
+	res.Payload = payload
+	res.OK = ok
+	return res, nil
+}
+
+// Loopback transmits payload through an AWGN channel at snrDB and receives
+// it, returning the result.
+func (t *Transceiver) Loopback(payload []byte, snrDB float64, r *rng.Rand) (*RxResult, error) {
+	td, err := t.Transmit(payload)
+	if err != nil {
+		return nil, err
+	}
+	ch := NewAWGNChannel(snrDB, r)
+	return t.Receive(ch.Transmit(td), ch.NoiseVar)
+}

@@ -1,0 +1,135 @@
+package phy
+
+import (
+	"testing"
+
+	"concordia/internal/rng"
+)
+
+func testTransceiver(t *testing.T, tb int, mod Modulation) *Transceiver {
+	t.Helper()
+	tx, err := NewTransceiver(TransceiverConfig{
+		TBBits:   tb,
+		Mod:      mod,
+		CodeRate: 0.5,
+		CInit:    777,
+		FFTSize:  512,
+		CPLen:    36,
+		Carriers: 480,
+		LDPCSeed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestTransceiverValidation(t *testing.T) {
+	bad := []TransceiverConfig{
+		{},
+		{TBBits: 100, Mod: Modulation(3), CodeRate: 0.5, FFTSize: 64, CPLen: 4, Carriers: 32},
+		{TBBits: 100, Mod: QPSK, CodeRate: 1.5, FFTSize: 64, CPLen: 4, Carriers: 32},
+		{TBBits: 100, Mod: QPSK, CodeRate: 0.5, FFTSize: 63, CPLen: 4, Carriers: 32},
+	}
+	for i, cfg := range bad {
+		if _, err := NewTransceiver(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestTransceiverLoopbackCleanChannel(t *testing.T) {
+	r := rng.New(1)
+	tx := testTransceiver(t, 3000, QAM16)
+	payload := randomBits(r, 3000)
+	res, err := tx.Loopback(payload, 20, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatal("loopback at 20 dB failed CRC")
+	}
+	for i := range payload {
+		if res.Payload[i] != payload[i] {
+			t.Fatal("payload corrupted through the full chain")
+		}
+	}
+}
+
+func TestTransceiverMultiBlock(t *testing.T) {
+	r := rng.New(2)
+	tx := testTransceiver(t, 20000, QAM64) // segments into 3 codeblocks
+	if tx.Codeblocks() < 2 {
+		t.Fatalf("expected multi-block segmentation, got %d", tx.Codeblocks())
+	}
+	payload := randomBits(r, 20000)
+	res, err := tx.Loopback(payload, 16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatal("multi-block loopback failed at 16 dB")
+	}
+}
+
+func TestTransceiverIterationsRiseWithNoise(t *testing.T) {
+	// The runtime driver the WCET predictor learns: decode iterations grow
+	// as the channel worsens.
+	r := rng.New(3)
+	tx := testTransceiver(t, 3000, QPSK)
+	iters := func(snr float64) int {
+		total := 0
+		for trial := 0; trial < 5; trial++ {
+			payload := randomBits(r, 3000)
+			res, err := tx.Loopback(payload, snr, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.TotalIterations
+		}
+		return total
+	}
+	clean, noisy := iters(18), iters(4)
+	if noisy <= clean {
+		t.Fatalf("iterations did not rise with noise: %d (18dB) vs %d (4dB)", clean, noisy)
+	}
+}
+
+func TestTransceiverDetectsLoss(t *testing.T) {
+	r := rng.New(4)
+	tx := testTransceiver(t, 3000, QAM256)
+	payload := randomBits(r, 3000)
+	// 256QAM at -2 dB is hopeless; the CRC must catch it.
+	res, err := tx.Loopback(payload, -2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Skip("implausible decode success at -2 dB")
+	}
+}
+
+func TestTransceiverReceiveErrors(t *testing.T) {
+	tx := testTransceiver(t, 3000, QAM16)
+	if _, err := tx.Receive(make([]complex128, 13), 0.01); err == nil {
+		t.Fatal("ragged sample count accepted")
+	}
+}
+
+func BenchmarkTransceiverLoopback(b *testing.B) {
+	r := rng.New(1)
+	tx, err := NewTransceiver(TransceiverConfig{
+		TBBits: 8000, Mod: QAM16, CodeRate: 0.5, CInit: 1,
+		FFTSize: 512, CPLen: 36, Carriers: 480, LDPCSeed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := randomBits(r, 8000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.Loopback(payload, 12, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

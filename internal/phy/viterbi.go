@@ -1,0 +1,151 @@
+package phy
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// ConvolutionalCode is the tail-biting-free (zero-terminated) convolutional
+// code used by LTE control channels (constraint length 7, rate 1/3,
+// generators 133/171/165 octal) with soft-decision Viterbi decoding. The 4G
+// data path uses turbo codes built from two such constituent encoders; this
+// implementation covers the constituent machinery the paper's 4G background
+// (§A.1) describes.
+type ConvolutionalCode struct {
+	constraint int
+	gens       []uint32
+	states     int
+}
+
+// NewConvolutionalCode builds a code from generator polynomials (binary
+// form, e.g. 0b1011011 for octal 133 with constraint length 7).
+func NewConvolutionalCode(constraint int, gens []uint32) (*ConvolutionalCode, error) {
+	if constraint < 2 || constraint > 16 {
+		return nil, errors.New("phy: constraint length out of range")
+	}
+	if len(gens) == 0 {
+		return nil, errors.New("phy: need at least one generator")
+	}
+	for _, g := range gens {
+		if g == 0 || bits.Len32(g) > constraint {
+			return nil, errors.New("phy: generator exceeds constraint length")
+		}
+	}
+	return &ConvolutionalCode{
+		constraint: constraint,
+		gens:       append([]uint32(nil), gens...),
+		states:     1 << (constraint - 1),
+	}, nil
+}
+
+// NewLTEConvolutional returns the LTE K=7 rate-1/3 code (133, 171, 165).
+func NewLTEConvolutional() *ConvolutionalCode {
+	c, err := NewConvolutionalCode(7, []uint32{0o133, 0o171, 0o165})
+	if err != nil {
+		panic(err) // static parameters; cannot fail
+	}
+	return c
+}
+
+// Rate returns the code rate 1/len(generators).
+func (c *ConvolutionalCode) Rate() float64 { return 1 / float64(len(c.gens)) }
+
+// outputs computes the encoder output bits for a given state and input bit.
+func (c *ConvolutionalCode) outputs(state uint32, in byte) []byte {
+	reg := state<<1 | uint32(in&1)
+	out := make([]byte, len(c.gens))
+	for i, g := range c.gens {
+		out[i] = byte(bits.OnesCount32(reg&g) & 1)
+	}
+	return out
+}
+
+// Encode produces the coded bits for info, appending constraint−1 zero tail
+// bits to terminate the trellis.
+func (c *ConvolutionalCode) Encode(info []byte) []byte {
+	out := make([]byte, 0, (len(info)+c.constraint-1)*len(c.gens))
+	state := uint32(0)
+	emit := func(b byte) {
+		out = append(out, c.outputs(state, b)...)
+		state = (state<<1 | uint32(b&1)) & uint32(c.states-1)
+	}
+	for _, b := range info {
+		emit(b & 1)
+	}
+	for i := 0; i < c.constraint-1; i++ {
+		emit(0)
+	}
+	return out
+}
+
+// Decode runs soft-decision Viterbi over channel LLRs (positive ⇒ bit 0)
+// and returns the information bits (tail removed).
+func (c *ConvolutionalCode) Decode(llr []float64) ([]byte, error) {
+	nOut := len(c.gens)
+	if len(llr)%nOut != 0 {
+		return nil, errors.New("phy: LLR length not a multiple of the output count")
+	}
+	steps := len(llr) / nOut
+	infoLen := steps - (c.constraint - 1)
+	if infoLen <= 0 {
+		return nil, errors.New("phy: input shorter than the termination tail")
+	}
+
+	const inf = math.MaxFloat64 / 4
+	metric := make([]float64, c.states)
+	next := make([]float64, c.states)
+	for s := 1; s < c.states; s++ {
+		metric[s] = inf // trellis starts in state 0
+	}
+	// survivors[t][s] = input bit leading into state s at step t+1, plus
+	// predecessor implied by the shift register structure.
+	survivors := make([][]byte, steps)
+
+	for t := 0; t < steps; t++ {
+		for s := range next {
+			next[s] = inf
+		}
+		surv := make([]byte, c.states)
+		obs := llr[t*nOut : (t+1)*nOut]
+		for s := 0; s < c.states; s++ {
+			if metric[s] >= inf {
+				continue
+			}
+			for in := byte(0); in <= 1; in++ {
+				outBits := c.outputs(uint32(s), in)
+				// Branch metric: negative correlation with LLRs.
+				var m float64
+				for i, b := range outBits {
+					if b == 1 {
+						m += obs[i]
+					} else {
+						m -= obs[i]
+					}
+				}
+				ns := (s<<1 | int(in)) & (c.states - 1)
+				cand := metric[s] + m
+				if cand < next[ns] {
+					next[ns] = cand
+					// The predecessor is implied by the shift-register
+					// structure: pred = (ns>>1) | (dropped << (K-2)). Store
+					// the dropped bit to reconstruct it during traceback.
+					surv[ns] = byte((s >> (c.constraint - 2)) & 1)
+				}
+			}
+		}
+		survivors[t] = surv
+		metric, next = next, metric
+	}
+
+	// Traceback from state 0 (zero-terminated).
+	state := 0
+	decoded := make([]byte, steps)
+	for t := steps - 1; t >= 0; t-- {
+		in := byte(state & 1)
+		decoded[t] = in
+		dropped := survivors[t][state]
+		state = (state >> 1) | (int(dropped) << (c.constraint - 2))
+	}
+	return decoded[:infoLen], nil
+}

@@ -1,0 +1,133 @@
+package phy
+
+import (
+	"testing"
+
+	"concordia/internal/rng"
+)
+
+func TestConvolutionalValidation(t *testing.T) {
+	if _, err := NewConvolutionalCode(1, []uint32{3}); err == nil {
+		t.Fatal("constraint 1 accepted")
+	}
+	if _, err := NewConvolutionalCode(7, nil); err == nil {
+		t.Fatal("empty generators accepted")
+	}
+	if _, err := NewConvolutionalCode(3, []uint32{0o133}); err == nil {
+		t.Fatal("generator exceeding constraint accepted")
+	}
+}
+
+func TestConvolutionalRate(t *testing.T) {
+	c := NewLTEConvolutional()
+	if c.Rate() != 1.0/3 {
+		t.Fatalf("rate %v", c.Rate())
+	}
+}
+
+func TestConvolutionalEncodeLength(t *testing.T) {
+	c := NewLTEConvolutional()
+	out := c.Encode(make([]byte, 40))
+	// (40 info + 6 tail) × 3 outputs.
+	if len(out) != 46*3 {
+		t.Fatalf("encoded length %d want %d", len(out), 46*3)
+	}
+}
+
+func bitsToStrongLLR(bits []byte) []float64 {
+	llr := make([]float64, len(bits))
+	for i, b := range bits {
+		llr[i] = 8
+		if b == 1 {
+			llr[i] = -8
+		}
+	}
+	return llr
+}
+
+func TestViterbiNoiseless(t *testing.T) {
+	c := NewLTEConvolutional()
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		info := randomBits(r, 30+r.Intn(100))
+		coded := c.Encode(info)
+		got, err := c.Decode(bitsToStrongLLR(coded))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(info) {
+			t.Fatalf("decoded %d bits want %d", len(got), len(info))
+		}
+		for i := range info {
+			if got[i] != info[i] {
+				t.Fatalf("noiseless Viterbi failed at bit %d (trial %d)", i, trial)
+			}
+		}
+	}
+}
+
+func TestViterbiNoisy(t *testing.T) {
+	c := NewLTEConvolutional()
+	r := rng.New(2)
+	failures := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		info := randomBits(r, 64)
+		coded := c.Encode(info)
+		llr := codewordLLR(coded, 1, r) // 1 dB: rate-1/3 K=7 handles this
+		got, err := c.Decode(llr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range info {
+			if got[i] != info[i] {
+				failures++
+				break
+			}
+		}
+	}
+	if failures > trials/3 {
+		t.Fatalf("%d/%d noisy blocks failed at 1 dB", failures, trials)
+	}
+}
+
+func TestViterbiCorrectsErrors(t *testing.T) {
+	// Flip a few coded bits outright; the code must correct them.
+	c := NewLTEConvolutional()
+	r := rng.New(3)
+	info := randomBits(r, 80)
+	coded := c.Encode(info)
+	for f := 0; f < 5; f++ {
+		coded[r.Intn(len(coded))] ^= 1
+	}
+	got, err := c.Decode(bitsToStrongLLR(coded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range info {
+		if got[i] != info[i] {
+			t.Fatal("Viterbi failed to correct 5 bit flips in 258 coded bits")
+		}
+	}
+}
+
+func TestViterbiErrors(t *testing.T) {
+	c := NewLTEConvolutional()
+	if _, err := c.Decode(make([]float64, 7)); err == nil {
+		t.Fatal("non-multiple LLR length accepted")
+	}
+	if _, err := c.Decode(make([]float64, 3)); err == nil {
+		t.Fatal("tail-only input accepted")
+	}
+}
+
+func BenchmarkViterbiDecode(b *testing.B) {
+	c := NewLTEConvolutional()
+	r := rng.New(1)
+	info := randomBits(r, 128)
+	llr := bitsToStrongLLR(c.Encode(info))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Decode(llr)
+	}
+}

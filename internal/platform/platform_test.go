@@ -1,0 +1,178 @@
+package platform
+
+import (
+	"testing"
+
+	"concordia/internal/sim"
+	"concordia/internal/stats"
+)
+
+func collectWakeups(p *Platform, env WakeupEnv, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.WakeupLatency(env).Us()
+	}
+	return out
+}
+
+func TestWakeupBodyIsFewMicroseconds(t *testing.T) {
+	p := New(1)
+	s := collectWakeups(p, WakeupEnv{}, 50000)
+	med := stats.Quantile(s, 0.5)
+	if med < 1.5 || med > 8 {
+		t.Fatalf("isolated wakeup median %.1f µs outside Fig 10 bulk", med)
+	}
+	for _, v := range s {
+		if v <= 0 {
+			t.Fatal("non-positive wakeup latency")
+		}
+	}
+}
+
+func TestWakeupTailGrowsWithInterference(t *testing.T) {
+	p := New(2)
+	countAbove := func(env WakeupEnv, thresholdUs float64) int {
+		n := 0
+		for _, v := range collectWakeups(p, env, 100000) {
+			if v > thresholdUs {
+				n++
+			}
+		}
+		return n
+	}
+	iso := countAbove(WakeupEnv{}, 63)
+	loaded := countAbove(WakeupEnv{Interference: 1}, 63)
+	if loaded <= iso*2 {
+		t.Fatalf(">63µs events: isolated %d vs interfered %d — tail must grow", iso, loaded)
+	}
+}
+
+func TestWakeupTailGrowsWithRetention(t *testing.T) {
+	// The Fig 10 side-effect: Concordia's longer core retention queues
+	// unmigratable kernel work, adding high-tail wakeups.
+	p := New(3)
+	countAbove := func(env WakeupEnv) int {
+		n := 0
+		for _, v := range collectWakeups(p, env, 100000) {
+			if v > 63 {
+				n++
+			}
+		}
+		return n
+	}
+	short := countAbove(WakeupEnv{Interference: 0.5, Retention: 0})
+	long := countAbove(WakeupEnv{Interference: 0.5, Retention: 1})
+	if long <= short {
+		t.Fatalf(">63µs events: retention 0 → %d, retention 1 → %d — must grow", short, long)
+	}
+}
+
+func TestWakeupBounded(t *testing.T) {
+	p := New(4)
+	msSpikes := 0
+	for _, v := range collectWakeups(p, WakeupEnv{Interference: 1, Retention: 1}, 200000) {
+		if v > 11000 {
+			t.Fatalf("wakeup latency %.0f µs exceeds the modeled ceiling", v)
+		}
+		if v > 400 {
+			msSpikes++
+		}
+	}
+	// Millisecond-class events must exist under interference but stay rare.
+	if msSpikes == 0 {
+		t.Fatal("no ms-class kernel latency events under full interference")
+	}
+	if msSpikes > 400 {
+		t.Fatalf("ms-class events too common: %d of 200000", msSpikes)
+	}
+}
+
+func TestWakeupHistogramShape(t *testing.T) {
+	// Reconstruct the Fig 10 presentation and check the mass ordering:
+	// the 2-7 µs buckets dominate.
+	p := New(5)
+	h := stats.NewLog2Histogram()
+	for _, v := range collectWakeups(p, WakeupEnv{}, 50000) {
+		h.Observe(uint64(v))
+	}
+	var bulk, tail uint64
+	for _, b := range h.Buckets() {
+		if b.Lo >= 2 && b.Hi <= 7 {
+			bulk += b.Count
+		}
+		if b.Lo >= 64 {
+			tail += b.Count
+		}
+	}
+	if bulk < h.Total()/3 {
+		t.Fatalf("2-7µs bucket mass %d of %d too small", bulk, h.Total())
+	}
+	if tail > h.Total()/100 {
+		t.Fatalf("isolated >64µs tail too heavy: %d of %d", tail, h.Total())
+	}
+}
+
+func TestCountersIsolatedAreZero(t *testing.T) {
+	c := Counters(CounterEnv{Interference: 0, CoreChurnPerMs: 5, SpreadCores: 3})
+	if c.StallCyclesPerInstrIncrease != 0 || c.L1MissPerInstrIncrease != 0 || c.LLCLoadsPerInstrIncrease != 0 {
+		t.Fatalf("isolated counters non-zero: %+v", c)
+	}
+}
+
+// Fig 9 calibration: FlexRAN-like churn under a saturating workload shows
+// ~25% stall increase; Concordia-like churn stays under 2%.
+func TestCountersMatchFig9(t *testing.T) {
+	flexran := Counters(CounterEnv{Interference: 1, CoreChurnPerMs: 7.0})
+	concordia := Counters(CounterEnv{Interference: 1, CoreChurnPerMs: 0.4})
+	if flexran.StallCyclesPerInstrIncrease < 0.20 || flexran.StallCyclesPerInstrIncrease > 0.30 {
+		t.Errorf("FlexRAN stall increase %.2f want ~0.25", flexran.StallCyclesPerInstrIncrease)
+	}
+	if concordia.StallCyclesPerInstrIncrease > 0.04 {
+		t.Errorf("Concordia stall increase %.2f want <0.04", concordia.StallCyclesPerInstrIncrease)
+	}
+	if flexran.L1MissPerInstrIncrease < 0.08 || flexran.L1MissPerInstrIncrease > 0.20 {
+		t.Errorf("FlexRAN L1 increase %.2f want ~0.14", flexran.L1MissPerInstrIncrease)
+	}
+	if flexran.LLCLoadsPerInstrIncrease < 0.12 || flexran.LLCLoadsPerInstrIncrease > 0.28 {
+		t.Errorf("FlexRAN LLC increase %.2f want ~0.20", flexran.LLCLoadsPerInstrIncrease)
+	}
+}
+
+func TestCountersMonotoneInChurn(t *testing.T) {
+	prev := -1.0
+	for churn := 0.0; churn <= 5; churn += 0.25 {
+		c := Counters(CounterEnv{Interference: 0.8, CoreChurnPerMs: churn})
+		if c.StallCyclesPerInstrIncrease < prev {
+			t.Fatalf("stall increase not monotone at churn %v", churn)
+		}
+		prev = c.StallCyclesPerInstrIncrease
+	}
+}
+
+func TestCountersSpreadEffect(t *testing.T) {
+	narrow := Counters(CounterEnv{Interference: 1, CoreChurnPerMs: 1, SpreadCores: 0})
+	wide := Counters(CounterEnv{Interference: 1, CoreChurnPerMs: 1, SpreadCores: 4})
+	if wide.LLCLoadsPerInstrIncrease <= narrow.LLCLoadsPerInstrIncrease {
+		t.Fatal("spreading over more cores must raise LLC loads")
+	}
+}
+
+func TestWakeupDeterminism(t *testing.T) {
+	a := collectWakeups(New(9), WakeupEnv{Interference: 0.3}, 1000)
+	b := collectWakeups(New(9), WakeupEnv{Interference: 0.3}, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("wakeup latency stream not deterministic")
+		}
+	}
+}
+
+func BenchmarkWakeupLatency(b *testing.B) {
+	p := New(1)
+	env := WakeupEnv{Interference: 0.5, Retention: 0.5}
+	var acc sim.Time
+	for i := 0; i < b.N; i++ {
+		acc += p.WakeupLatency(env)
+	}
+	_ = acc
+}

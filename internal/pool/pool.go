@@ -1,0 +1,1064 @@
+// Package pool implements the vRAN pool runtime of Fig 2 on the simulated
+// platform: worker threads pinned to cores, EDF priority queues of
+// signal-processing tasks, DAG-driven task spawning, yield/wake semantics
+// with OS wakeup latency, the Concordia scheduler tick, 2 ms core rotation,
+// and the accounting (slot latency tails, scheduling events, reclaimed
+// core-time, workload throughput) every experiment in §6 reads out.
+package pool
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"concordia/internal/accel"
+	"concordia/internal/costmodel"
+	"concordia/internal/platform"
+	"concordia/internal/predictor"
+	"concordia/internal/ran"
+	"concordia/internal/rng"
+	"concordia/internal/scheduler"
+	"concordia/internal/sim"
+	"concordia/internal/traffic"
+	"concordia/internal/workloads"
+)
+
+// Predictors provides per-task-kind WCET predictions to the pool.
+type Predictors interface {
+	Predict(kind ran.TaskKind, f ran.FeatureVector) sim.Time
+	Observe(kind ran.TaskKind, f ran.FeatureVector, runtime sim.Time)
+}
+
+// PredictorSet is the production implementation: one trained predictor per
+// task kind (the paper trains one quantile tree per signal-processing task).
+type PredictorSet map[ran.TaskKind]predictor.Predictor
+
+// Predict implements Predictors. Kinds without a model fall back to zero,
+// which the pool treats as "unknown" and covers with the margin predictor.
+func (s PredictorSet) Predict(kind ran.TaskKind, f ran.FeatureVector) sim.Time {
+	if p, ok := s[kind]; ok {
+		return p.Predict(f)
+	}
+	return 0
+}
+
+// Observe implements Predictors.
+func (s PredictorSet) Observe(kind ran.TaskKind, f ran.FeatureVector, runtime sim.Time) {
+	if p, ok := s[kind]; ok {
+		p.Observe(f, runtime)
+	}
+}
+
+// OraclePredictors predicts Margin × the cost model's true mean — an
+// idealized predictor used for upper-bound and unit-test scenarios.
+type OraclePredictors struct {
+	Model  *costmodel.Model
+	Env    costmodel.Env
+	Margin float64
+}
+
+// Predict implements Predictors.
+func (o OraclePredictors) Predict(kind ran.TaskKind, f ran.FeatureVector) sim.Time {
+	return sim.Time(float64(o.Model.Mean(kind, f, o.Env)) * o.Margin)
+}
+
+// Observe implements Predictors (the oracle does not learn).
+func (o OraclePredictors) Observe(ran.TaskKind, ran.FeatureVector, sim.Time) {}
+
+// Config assembles one pool simulation.
+type Config struct {
+	Cells     []ran.CellConfig
+	PoolCores int
+	Scheduler scheduler.Scheduler
+	Predict   Predictors
+	CostModel *costmodel.Model
+	Platform  *platform.Platform
+	Workload  *workloads.Schedule
+	// Deadline is the DAG processing deadline after slot release (Table 1:
+	// 1.5 ms for 100 MHz, 2 ms for 20 MHz).
+	Deadline sim.Time
+	// UL/DL traffic generation; PeakULBytes/PeakDLBytes are per-slot
+	// ceilings per cell, Load scales toward them.
+	Load        float64
+	PeakULBytes int
+	PeakDLBytes int
+	Seed        uint64
+	// ULSource/DLSource, when non-nil, replace the synthetic generators
+	// with trace replay (the paper's trace-driven methodology). They must
+	// cover the configured cell count.
+	ULSource traffic.Source
+	DLSource traffic.Source
+	// RotatePeriod is the core-rotation interval (2 ms in the paper);
+	// 0 disables rotation.
+	RotatePeriod sim.Time
+	// ReleaseHysteresis keeps an idle RAN core reserved for this long before
+	// yielding it. Concordia's proactive reservation uses a couple of slot
+	// durations here — bridging inter-TTI gaps is what gives it an order of
+	// magnitude fewer scheduling events than the queue-driven baseline
+	// (Fig 10). Zero releases immediately (the baselines' behaviour).
+	ReleaseHysteresis sim.Time
+	// Accel, when non-nil, offloads LDPC encode/decode to the modeled FPGA
+	// (§7): the CPU pays only a submit cost; the DAG resumes when the
+	// device completes.
+	Accel *accel.Accelerator
+	// IncludeMAC releases the §7 MAC-layer extension DAG every slot per
+	// cell, with a one-slot deadline (the grant must be ready for the next
+	// TTI), multiplexed on the same pool.
+	IncludeMAC bool
+	// DropLateDAGs discards a DAG's remaining work once its deadline
+	// passes, as real deployments do ("the packets transmitted or received
+	// in the corresponding time slot are dropped"). Dropped DAGs count as
+	// misses. When false (the default for latency measurement), late DAGs
+	// run to completion and their full latency is recorded.
+	DropLateDAGs bool
+	// StaticPartition statically assigns cores to cells (core i serves cell
+	// i mod cells), reproducing vanilla FlexRAN's queue-to-worker affinity.
+	// A stuck or overloaded partition then cannot borrow neighbours' cores —
+	// the effect behind Fig 4b's deadline violations. Concordia runs with a
+	// global pool (false).
+	StaticPartition bool
+}
+
+func (c *Config) validate() error {
+	if len(c.Cells) == 0 {
+		return errors.New("pool: no cells")
+	}
+	mu := c.Cells[0].Numerology
+	for _, cell := range c.Cells {
+		if err := cell.Validate(); err != nil {
+			return err
+		}
+		if cell.Numerology != mu {
+			return errors.New("pool: cells must share a numerology")
+		}
+	}
+	if c.PoolCores <= 0 {
+		return errors.New("pool: need at least one core")
+	}
+	if c.Scheduler == nil || c.CostModel == nil || c.Platform == nil {
+		return errors.New("pool: scheduler, cost model and platform are required")
+	}
+	if c.Deadline <= 0 {
+		return errors.New("pool: non-positive deadline")
+	}
+	if c.Load <= 0 || c.Load > 1 {
+		return errors.New("pool: load must be in (0,1]")
+	}
+	if c.PeakULBytes <= 0 || c.PeakDLBytes <= 0 {
+		return errors.New("pool: peak slot bytes must be positive")
+	}
+	return nil
+}
+
+// task is the runtime wrapper around a DAG node.
+type task struct {
+	dag       *dagRun
+	node      *ran.Task
+	predicted sim.Time
+	readyAt   sim.Time
+	started   sim.Time
+	running   bool
+	done      bool
+	tailCP    sim.Time // predicted longest path from this task to a sink
+	missing   int      // unfinished dependencies
+	heapIndex int
+}
+
+// dagRun tracks one released DAG instance.
+type dagRun struct {
+	dag        *ran.DAG
+	tasks      []*task
+	unfinished int
+	// remainingWork is the predicted work of not-yet-completed tasks,
+	// excluding progress on running ones (subtracted lazily at read time).
+	remainingWork sim.Time
+	// dropped marks a DAG abandoned at its deadline (DropLateDAGs).
+	dropped bool
+	// cpuTime and offloadTime split the DAG's execution between processor
+	// and accelerator (Table 4's non-offloaded vs total analysis).
+	cpuTime     sim.Time
+	offloadTime sim.Time
+}
+
+// readyQueue is the EDF priority queue: earliest DAG deadline first, ties
+// broken by task order.
+type readyQueue []*task
+
+func (q readyQueue) Len() int { return len(q) }
+func (q readyQueue) Less(i, j int) bool {
+	if q[i].dag.dag.Deadline != q[j].dag.dag.Deadline {
+		return q[i].dag.dag.Deadline < q[j].dag.dag.Deadline
+	}
+	if q[i].readyAt != q[j].readyAt {
+		return q[i].readyAt < q[j].readyAt
+	}
+	return q[i].node.ID < q[j].node.ID
+}
+func (q readyQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIndex = i
+	q[j].heapIndex = j
+}
+func (q *readyQueue) Push(x any) {
+	t := x.(*task)
+	t.heapIndex = len(*q)
+	*q = append(*q, t)
+}
+func (q *readyQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}
+
+// coreState tracks one physical core.
+type coreState int
+
+const (
+	coreBestEffort coreState = iota // granted to collocated workloads
+	coreWaking                      // acquired by RAN, worker not yet running
+	coreIdleRAN                     // owned by RAN, no task
+	coreBusyRAN                     // executing a RAN task
+)
+
+type core struct {
+	state     coreState
+	task      *task
+	wakeEv    *sim.Event
+	doneEv    *sim.Event
+	busyEnd   sim.Time
+	wakeStart sim.Time
+	idleSince sim.Time
+	// drain marks a busy core that must yield on task completion (core
+	// rotation swaps it for a freshly acquired one).
+	drain bool
+}
+
+// Pool is the running simulation.
+type Pool struct {
+	cfg    Config
+	eng    *sim.Engine
+	rand   *rng.Rand
+	ulTraf traffic.Source
+	dlTraf traffic.Source
+
+	cores    []core
+	ranCores int // cores in waking/idle/busy RAN states
+
+	queues []readyQueue
+	// dags holds in-flight DAGs in release order. A slice (not a map) keeps
+	// scheduler-state iteration deterministic: float accumulation over a
+	// randomly-ordered map could flip a ceil at the margin.
+	dags []*dagRun
+
+	slotIndex int
+
+	report  *Report
+	lastAcc sim.Time // last core-time accounting timestamp
+
+	// utilization EWMA for the utilization-based scheduler.
+	utilEWMA float64
+	// churnEWMA tracks recent scheduling events per millisecond: the driver
+	// of cache pollution (Fig 9) — frequent yield/acquire cycles land RAN
+	// tasks on cold, workload-polluted caches.
+	churnEWMA      float64
+	eventsLastSlot uint64
+}
+
+// New validates the configuration and builds the pool.
+func New(cfg Config) (*Pool, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	var ul, dl traffic.Source
+	var err error
+	if cfg.ULSource != nil {
+		ul = cfg.ULSource
+		root.Uint64() // keep the seed stream aligned with generator mode
+	} else {
+		ul, err = traffic.NewGenerator(traffic.Config{
+			Cells: len(cfg.Cells), Load: cfg.Load, PeakSlotBytes: cfg.PeakULBytes, Seed: root.Uint64()})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.DLSource != nil {
+		dl = cfg.DLSource
+		root.Uint64()
+	} else {
+		dl, err = traffic.NewGenerator(traffic.Config{
+			Cells: len(cfg.Cells), Load: cfg.Load, PeakSlotBytes: cfg.PeakDLBytes, Seed: root.Uint64()})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if ul.Cells() < len(cfg.Cells) || dl.Cells() < len(cfg.Cells) {
+		return nil, errors.New("pool: traffic source covers fewer cells than configured")
+	}
+	nq := 1
+	if cfg.StaticPartition {
+		nq = len(cfg.Cells)
+	}
+	p := &Pool{
+		cfg:    cfg,
+		eng:    sim.NewEngine(),
+		rand:   root,
+		ulTraf: ul,
+		dlTraf: dl,
+		cores:  make([]core, cfg.PoolCores),
+		queues: make([]readyQueue, nq),
+		report: newReport(cfg),
+	}
+	return p, nil
+}
+
+// Run executes the simulation for the given duration and returns the
+// accumulated report.
+func (p *Pool) Run(duration sim.Time) *Report {
+	slotDur := p.cfg.Cells[0].Numerology.SlotDuration()
+	sim.NewTicker(p.eng, 0, slotDur, p.onSlot)
+	sim.NewTicker(p.eng, 0, p.cfg.Scheduler.Interval(), p.onSchedulerTick)
+	if p.cfg.RotatePeriod > 0 {
+		// Phase-shift rotation off the slot grid so it observes the pool
+		// mid-slot rather than at the idle instant between TTIs.
+		sim.NewTicker(p.eng, p.cfg.RotatePeriod+p.cfg.RotatePeriod/7, p.cfg.RotatePeriod, p.onRotate)
+	}
+	p.eng.Run(duration)
+	p.accountCoreTime(p.eng.Now())
+	p.report.finish(duration, p.cfg)
+	return p.report
+}
+
+// interference returns the effective cache pressure on RAN tasks right now.
+// The baseline pressure comes from the active workloads; how much of it the
+// RAN actually feels is governed by core churn — a pool that yields and
+// reacquires cores constantly (vanilla FlexRAN) keeps landing on caches the
+// workloads just polluted, while a pool that retains a small core set
+// (Concordia) mostly suffers shared-LLC pressure only (Fig 9).
+func (p *Pool) interference() float64 {
+	base := p.interferenceBase()
+	if base == 0 {
+		return 0
+	}
+	churn := p.churnEWMA / 7.0
+	if churn > 1 {
+		churn = 1
+	}
+	return base * (0.25 + 0.75*churn)
+}
+
+func (p *Pool) env() costmodel.Env {
+	cores := p.ranCores
+	if cores < 1 {
+		cores = 1
+	}
+	return costmodel.Env{PoolCores: cores, Interference: p.interference()}
+}
+
+// onSlot releases the new TTI's DAGs for every cell.
+func (p *Pool) onSlot(now sim.Time) {
+	ulBytes := p.ulTraf.NextSlot()
+	dlBytes := p.dlTraf.NextSlot()
+	slotDur := p.cfg.Cells[0].Numerology.SlotDuration()
+	for i, cell := range p.cfg.Cells {
+		deadline := now + p.cfg.Deadline
+		if p.cfg.IncludeMAC {
+			// The MAC schedules the next TTI: it runs every slot and must
+			// finish within the slot.
+			ues := 1 + (ulBytes[i]+dlBytes[i])/4096
+			if ues > cell.MaxUEs {
+				ues = cell.MaxUEs
+			}
+			p.releaseDAG(ran.BuildMACDAG(cell, p.slotIndex, now, now+slotDur, ues))
+		}
+		switch {
+		case cell.Duplex == ran.FDD:
+			p.releaseDAG(buildDir(cell, p.slotIndex, now, deadline, ran.Uplink, ulBytes[i], p.rand))
+			p.releaseDAG(buildDir(cell, p.slotIndex, now, deadline, ran.Downlink, dlBytes[i], p.rand))
+		default:
+			switch cell.SlotDir(p.slotIndex) {
+			case ran.Uplink:
+				p.releaseDAG(buildDir(cell, p.slotIndex, now, deadline, ran.Uplink, ulBytes[i], p.rand))
+			case ran.Downlink:
+				p.releaseDAG(buildDir(cell, p.slotIndex, now, deadline, ran.Downlink, dlBytes[i], p.rand))
+			case ran.Special:
+				// Special slots carry guard symbols plus reduced downlink.
+				p.releaseDAG(buildDir(cell, p.slotIndex, now, deadline, ran.Downlink, dlBytes[i]/2, p.rand))
+			}
+		}
+	}
+	p.slotIndex++
+	p.report.Slots++
+	// Refresh the churn EWMA: scheduling events during the last slot.
+	slotMs := p.cfg.Cells[0].Numerology.SlotDuration().Ms()
+	rate := float64(p.report.SchedulingEvents-p.eventsLastSlot) / slotMs
+	p.eventsLastSlot = p.report.SchedulingEvents
+	p.churnEWMA = 0.95*p.churnEWMA + 0.05*rate
+	// Refresh the utilization EWMA at slot granularity.
+	busy := 0
+	for i := range p.cores {
+		if p.cores[i].state == coreBusyRAN {
+			busy++
+		}
+	}
+	owned := p.ranCores
+	u := 0.0
+	if owned > 0 {
+		u = float64(busy) / float64(owned)
+	}
+	p.utilEWMA = 0.8*p.utilEWMA + 0.2*u
+}
+
+// buildDir constructs the DAG for one direction, or nil for an idle slot.
+func buildDir(cell ran.CellConfig, slot int, release, deadline sim.Time, dir ran.SlotDir, bytes int, r *rng.Rand) *ran.DAG {
+	if bytes <= 0 {
+		return nil
+	}
+	allocs := ran.AllocateSlot(cell, bytes, r)
+	if len(allocs) == 0 {
+		return nil
+	}
+	if dir == ran.Uplink {
+		return ran.BuildUplinkDAG(cell, slot, release, deadline, allocs)
+	}
+	return ran.BuildDownlinkDAG(cell, slot, release, deadline, allocs)
+}
+
+// releaseDAG admits a DAG: predicts every task's WCET, computes tail
+// critical paths, and enqueues the roots.
+func (p *Pool) releaseDAG(d *ran.DAG) {
+	if d == nil {
+		return
+	}
+	run := &dagRun{dag: d, tasks: make([]*task, len(d.Tasks)), unfinished: len(d.Tasks)}
+	for _, n := range d.Tasks {
+		pred := p.predictTask(n)
+		run.tasks[n.ID] = &task{dag: run, node: n, predicted: pred, missing: len(n.Deps), heapIndex: -1}
+		run.remainingWork += pred
+	}
+	// Tail critical path: longest predicted path from each task to a sink,
+	// computed in reverse topological (reverse ID) order.
+	for i := len(run.tasks) - 1; i >= 0; i-- {
+		t := run.tasks[i]
+		var best sim.Time
+		for _, s := range t.node.Succs {
+			if run.tasks[s].tailCP > best {
+				best = run.tasks[s].tailCP
+			}
+		}
+		t.tailCP = best + t.predicted
+	}
+	p.dags = append(p.dags, run)
+	p.report.DAGsReleased++
+	now := p.eng.Now()
+	for _, id := range d.Roots() {
+		p.enqueue(run.tasks[id], now)
+	}
+}
+
+// predictTask returns the WCET prediction for one task, falling back to a
+// margin over the cost model when the predictor set has no model (or no
+// data) for the kind.
+func (p *Pool) predictTask(n *ran.Task) sim.Time {
+	if p.cfg.Accel != nil && p.cfg.Accel.Offloads(n.Kind) {
+		cbs := int(n.Features.Get(ran.FCodeblocks))
+		return p.cfg.Accel.SubmitCost + p.cfg.Accel.Expected(n.Kind, cbs)
+	}
+	if p.cfg.Predict != nil {
+		if v := p.cfg.Predict.Predict(n.Kind, n.Features); v > 0 {
+			return v
+		}
+	}
+	// Fallback: 1.5× the isolated mean — a deliberately loose margin so an
+	// absent model errs toward over-reservation.
+	return sim.Time(1.5 * float64(p.cfg.CostModel.Mean(n.Kind, n.Features, costmodel.Env{PoolCores: 1})))
+}
+
+// queueIndex maps a cell to its ready queue (0 in global-pool mode).
+func (p *Pool) queueIndex(cell int) int {
+	if len(p.queues) == 1 {
+		return 0
+	}
+	return cell % len(p.queues)
+}
+
+// coreQueue maps a core to the queue it serves (static partitioning binds
+// core i to cell i mod cells; the global pool serves one shared queue).
+func (p *Pool) coreQueue(ci int) int {
+	if len(p.queues) == 1 {
+		return 0
+	}
+	return ci % len(p.queues)
+}
+
+func (p *Pool) readyTotal() int {
+	n := 0
+	for qi := range p.queues {
+		n += p.queues[qi].Len()
+	}
+	return n
+}
+
+// enqueue inserts a ready task and immediately dispatches if a RAN core is
+// idle.
+func (p *Pool) enqueue(t *task, now sim.Time) {
+	t.readyAt = now
+	heap.Push(&p.queues[p.queueIndex(t.node.CellID)], t)
+	p.dispatch(now)
+}
+
+// dispatch assigns ready tasks to idle RAN cores (EDF order within each
+// queue; in static-partition mode a core only serves its own cell's queue).
+func (p *Pool) dispatch(now sim.Time) {
+	for qi := range p.queues {
+		for p.queues[qi].Len() > 0 {
+			ci := p.idleRANCoreFor(qi)
+			if ci < 0 {
+				break
+			}
+			t := heap.Pop(&p.queues[qi]).(*task)
+			p.startTask(ci, t, now)
+		}
+	}
+}
+
+func (p *Pool) idleRANCoreFor(qi int) int {
+	for i := range p.cores {
+		if p.cores[i].state == coreIdleRAN && p.coreQueue(i) == qi {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *Pool) idleRANCore() int {
+	for i := range p.cores {
+		if p.cores[i].state == coreIdleRAN {
+			return i
+		}
+	}
+	return -1
+}
+
+// startTask runs t on core ci. Offloadable tasks occupy the core only for
+// the accelerator submit cost; the device completes them asynchronously.
+func (p *Pool) startTask(ci int, t *task, now sim.Time) {
+	p.accountCoreTime(now)
+	c := &p.cores[ci]
+	c.state = coreBusyRAN
+	c.task = t
+	t.running = true
+	t.started = now
+	if p.cfg.Accel != nil && p.cfg.Accel.Offloads(t.node.Kind) {
+		dur := p.cfg.Accel.SubmitCost
+		c.busyEnd = now + dur
+		c.doneEv = p.eng.After(dur, func() { p.onOffloadSubmitted(ci) })
+		p.report.TasksExecuted++
+		return
+	}
+	dur := p.cfg.CostModel.Sample(t.node.Kind, t.node.Features, p.env())
+	c.busyEnd = now + dur
+	c.doneEv = p.eng.After(dur, func() { p.onTaskDone(ci) })
+	p.report.TasksExecuted++
+}
+
+// onOffloadSubmitted hands the core's current task to the accelerator and
+// frees the core for other work.
+func (p *Pool) onOffloadSubmitted(ci int) {
+	now := p.eng.Now()
+	p.accountCoreTime(now)
+	c := &p.cores[ci]
+	t := c.task
+	c.task = nil
+	c.doneEv = nil
+	run := t.dag
+	run.cpuTime += p.cfg.Accel.SubmitCost
+	cbs := int(t.node.Features.Get(ran.FCodeblocks))
+	done, err := p.cfg.Accel.Submit(now, t.node.Kind, cbs)
+	if err != nil {
+		// Not offloadable after all: execute on this core instead.
+		dur := p.cfg.CostModel.Sample(t.node.Kind, t.node.Features, p.env())
+		c.task = t
+		c.busyEnd = now + dur
+		c.doneEv = p.eng.After(dur, func() { p.onTaskDone(ci) })
+		return
+	}
+	run.offloadTime += done - now
+	p.eng.At(done, func() { p.onOffloadDone(t) })
+	p.coreAfterTask(ci, nil, now)
+}
+
+// onOffloadDone completes an accelerator task: DAG bookkeeping and
+// successor release (no core is involved).
+func (p *Pool) onOffloadDone(t *task) {
+	now := p.eng.Now()
+	t.running = false
+	t.done = true
+	run := t.dag
+	run.unfinished--
+	run.remainingWork -= t.predicted
+	if run.remainingWork < 0 {
+		run.remainingWork = 0
+	}
+	p.report.observeTask(t.node.Kind, now-t.started)
+	if run.dropped {
+		return
+	}
+	for _, sID := range t.node.Succs {
+		st := run.tasks[sID]
+		st.missing--
+		if st.missing == 0 {
+			st.readyAt = now
+			heap.Push(&p.queues[p.queueIndex(st.node.CellID)], st)
+		}
+	}
+	if run.unfinished == 0 {
+		p.finishDAG(run, now)
+	}
+	p.dispatch(now)
+}
+
+// onTaskDone completes the task on core ci, spawns successors, and either
+// continues with a successor (the cache-locality "keep one task" rule),
+// picks the EDF head, or yields the core if the scheduler shrank the pool.
+func (p *Pool) onTaskDone(ci int) {
+	now := p.eng.Now()
+	p.accountCoreTime(now)
+	c := &p.cores[ci]
+	t := c.task
+	c.task = nil
+	c.doneEv = nil
+	t.running = false
+	t.done = true
+	run := t.dag
+	run.unfinished--
+	run.remainingWork -= t.predicted
+	if run.remainingWork < 0 {
+		run.remainingWork = 0
+	}
+	// Online training: feed the measured runtime back.
+	measured := now - t.started
+	t.dag.cpuTime += measured
+	if p.cfg.Predict != nil {
+		p.cfg.Predict.Observe(t.node.Kind, t.node.Features, measured)
+	}
+	p.report.observeTask(t.node.Kind, measured)
+
+	// Spawn successors (none for a dropped DAG: its data is gone).
+	var keep *task
+	if run.dropped {
+		p.coreAfterTask(ci, nil, now)
+		return
+	}
+	for _, s := range t.node.Succs {
+		st := run.tasks[s]
+		st.missing--
+		if st.missing == 0 {
+			if keep == nil {
+				keep = st
+			} else {
+				st.readyAt = now
+				heap.Push(&p.queues[p.queueIndex(st.node.CellID)], st)
+			}
+		}
+	}
+	if run.unfinished == 0 {
+		p.finishDAG(run, now)
+	}
+	p.coreAfterTask(ci, keep, now)
+}
+
+// coreAfterTask decides what core ci does after finishing (or handing off)
+// a task: drain for rotation, continue with a kept successor, pick the EDF
+// head of its queue, yield if the scheduler shrank the pool, or idle.
+func (p *Pool) coreAfterTask(ci int, keep *task, now sim.Time) {
+	c := &p.cores[ci]
+	if c.drain {
+		// Rotation drain: hand this core back regardless of target.
+		c.drain = false
+		if keep != nil {
+			keep.readyAt = now
+			heap.Push(&p.queues[p.queueIndex(keep.node.CellID)], keep)
+		}
+		p.yieldCore(ci, now)
+		p.dispatch(now)
+		return
+	}
+	target := p.currentTarget()
+	qi := p.coreQueue(ci)
+	switch {
+	case keep != nil:
+		// Cache locality: continue with one spawned successor directly.
+		p.startTask(ci, keep, now)
+		p.dispatch(now)
+	case p.queues[qi].Len() > 0:
+		// An owned core always drains pending work before yielding — idling
+		// a held core while its queue is non-empty only adds latency.
+		next := heap.Pop(&p.queues[qi]).(*task)
+		p.startTask(ci, next, now)
+	case p.ranCores > target:
+		if p.cfg.ReleaseHysteresis > 0 {
+			// Keep the core reserved; the periodic release sweep yields it
+			// once it has lingered idle past the hysteresis.
+			c.state = coreIdleRAN
+			c.idleSince = now
+		} else {
+			p.yieldCore(ci, now)
+		}
+	default:
+		c.state = coreIdleRAN
+		c.idleSince = now
+	}
+}
+
+// currentTarget re-evaluates the scheduler's desired core count using the
+// current state (used at completion boundaries; the periodic tick applies
+// it too).
+func (p *Pool) currentTarget() int {
+	return p.cfg.Scheduler.Cores(p.schedulerState(p.eng.Now()))
+}
+
+// finishDAG records slot-processing latency and reliability accounting.
+func (p *Pool) finishDAG(run *dagRun, now sim.Time) {
+	for i, d := range p.dags {
+		if d == run {
+			p.dags = append(p.dags[:i], p.dags[i+1:]...)
+			break
+		}
+	}
+	latency := now - run.dag.Release
+	p.report.observeDAG(run.dag.Dir, latency, latency > p.cfg.Deadline)
+	p.report.observeDAGTimes(run.dag.Dir, run.cpuTime, run.offloadTime, latency)
+}
+
+// schedulerState snapshots the pool for the scheduling policy.
+func (p *Pool) schedulerState(now sim.Time) scheduler.PoolState {
+	st := scheduler.PoolState{
+		Now:         now,
+		TotalCores:  p.cfg.PoolCores,
+		Utilization: p.utilEWMA,
+	}
+	for i := range p.cores {
+		if p.cores[i].state == coreBusyRAN {
+			st.RunningTasks++
+		}
+	}
+	st.ReadyTasks = p.readyTotal()
+	if st.ReadyTasks > 0 {
+		var oldest sim.Time = -1
+		for qi := range p.queues {
+			for _, t := range p.queues[qi] {
+				if oldest < 0 || t.readyAt < oldest {
+					oldest = t.readyAt
+				}
+			}
+		}
+		st.OldestReadyAge = now - oldest
+	}
+	for _, run := range p.dags {
+		work := run.remainingWork
+		var cp sim.Time
+		for _, t := range run.tasks {
+			if t.done {
+				continue
+			}
+			tail := t.tailCP
+			if t.running {
+				elapsed := now - t.started
+				if elapsed < t.predicted {
+					tail -= elapsed
+					work -= elapsed
+				} else {
+					tail -= t.predicted
+					work -= t.predicted
+				}
+			}
+			if tail > cp {
+				cp = tail
+			}
+		}
+		if work < 0 {
+			work = 0
+		}
+		st.DAGs = append(st.DAGs, scheduler.DAGState{
+			Deadline:              run.dag.Deadline,
+			RemainingWork:         work,
+			RemainingCriticalPath: cp,
+		})
+	}
+	return st
+}
+
+// onSchedulerTick applies the policy's core target.
+func (p *Pool) onSchedulerTick(now sim.Time) {
+	if p.cfg.DropLateDAGs {
+		p.dropExpired(now)
+	}
+	target := p.cfg.Scheduler.Cores(p.schedulerState(now))
+	p.applyTarget(target, now)
+}
+
+// dropExpired abandons DAGs whose deadline has passed: queued tasks are
+// removed, running tasks finish but spawn nothing, and the slot is recorded
+// as a miss (dropped data).
+func (p *Pool) dropExpired(now sim.Time) {
+	kept := p.dags[:0]
+	for _, run := range p.dags {
+		if now <= run.dag.Deadline || run.unfinished == 0 {
+			kept = append(kept, run)
+			continue
+		}
+		run.dropped = true
+		for _, t := range run.tasks {
+			if t.done || t.running {
+				continue
+			}
+			if t.heapIndex >= 0 {
+				heap.Remove(&p.queues[p.queueIndex(t.node.CellID)], t.heapIndex)
+			}
+			t.done = true
+		}
+		p.report.DAGsDropped++
+		p.report.observeDAG(run.dag.Dir, now-run.dag.Release, true)
+	}
+	p.dags = kept
+}
+
+// applyTarget acquires or releases cores toward the target count. Policies
+// that compensate for slow wakeups (Concordia) discount cores stuck in the
+// waking state beyond two scheduling intervals and acquire replacements —
+// the §6.2 mechanism that keeps one non-preemptible kernel episode from
+// stalling a DAG.
+func (p *Pool) applyTarget(target int, now sim.Time) {
+	if target > p.cfg.PoolCores {
+		target = p.cfg.PoolCores
+	}
+	stuck := 0
+	if p.cfg.Scheduler.CompensatesWakeups() {
+		threshold := 2 * p.cfg.Scheduler.Interval()
+		for i := range p.cores {
+			if p.cores[i].state == coreWaking && now-p.cores[i].wakeStart > threshold {
+				stuck++
+			}
+		}
+	}
+	for p.ranCores-stuck < target && p.ranCores < p.cfg.PoolCores {
+		ci := p.acquirableCore()
+		if ci < 0 {
+			break
+		}
+		p.acquireCore(ci, now)
+	}
+	// Release surplus idle cores (busy cores release on completion).
+	for p.ranCores-stuck > target {
+		ci := p.releasableNonStuckCore(now, stuck > 0)
+		if ci < 0 {
+			break
+		}
+		p.yieldCore(ci, now)
+	}
+}
+
+// releasableNonStuckCore prefers idle cores that have lingered past the
+// release hysteresis; when stuck compensation is active, waking cores are
+// kept (they will be released once awake and surplus).
+func (p *Pool) releasableNonStuckCore(now sim.Time, keepWaking bool) int {
+	for i := range p.cores {
+		if p.cores[i].state == coreIdleRAN && now-p.cores[i].idleSince >= p.cfg.ReleaseHysteresis {
+			return i
+		}
+	}
+	if keepWaking {
+		return -1
+	}
+	for i := range p.cores {
+		if p.cores[i].state == coreWaking {
+			return i
+		}
+	}
+	return -1
+}
+
+// acquirableCore picks the next core to acquire, preferring partitions with
+// pending work when statically partitioned.
+func (p *Pool) acquirableCore() int {
+	if len(p.queues) > 1 {
+		for i := range p.cores {
+			if p.cores[i].state == coreBestEffort && p.queues[p.coreQueue(i)].Len() > 0 {
+				return i
+			}
+		}
+	}
+	return p.bestEffortCore()
+}
+
+func (p *Pool) bestEffortCore() int {
+	for i := range p.cores {
+		if p.cores[i].state == coreBestEffort {
+			return i
+		}
+	}
+	return -1
+}
+
+// acquireCore preempts best-effort work on core ci; the RAN worker becomes
+// runnable after the OS wakeup latency.
+func (p *Pool) acquireCore(ci int, now sim.Time) {
+	p.accountCoreTime(now)
+	c := &p.cores[ci]
+	c.state = coreWaking
+	c.wakeStart = now
+	p.ranCores++
+	p.report.SchedulingEvents++
+	p.report.Preemptions++
+	retention := float64(p.ranCores) / float64(p.cfg.PoolCores)
+	lat := p.cfg.Platform.WakeupLatency(platform.WakeupEnv{
+		Interference: p.interferenceBase(),
+		Retention:    retention,
+	})
+	p.report.observeWakeup(lat)
+	c.wakeEv = p.eng.After(lat, func() { p.onCoreAwake(ci) })
+}
+
+// interferenceBase is the workload pressure unscaled by core share (kernel
+// noise follows the machine-wide workload, not the RAN's share).
+func (p *Pool) interferenceBase() float64 {
+	if p.cfg.Workload == nil {
+		return 0
+	}
+	return p.cfg.Workload.InterferenceAt(p.eng.Now())
+}
+
+func (p *Pool) onCoreAwake(ci int) {
+	c := &p.cores[ci]
+	if c.state != coreWaking {
+		return
+	}
+	c.wakeEv = nil
+	c.state = coreIdleRAN
+	c.idleSince = p.eng.Now()
+	p.dispatch(p.eng.Now())
+}
+
+// yieldCore returns core ci to best-effort workloads.
+func (p *Pool) yieldCore(ci int, now sim.Time) {
+	p.accountCoreTime(now)
+	c := &p.cores[ci]
+	if c.state == coreWaking && c.wakeEv != nil {
+		c.wakeEv.Cancel()
+		c.wakeEv = nil
+	}
+	c.state = coreBestEffort
+	p.ranCores--
+	p.report.SchedulingEvents++
+}
+
+// onRotate swaps one owned core for an unowned one (the 2 ms rotation that
+// lets unmigratable kernel work run on every core eventually). An idle RAN
+// core swaps immediately; a busy one is marked to drain — it yields when its
+// current task completes while a replacement is acquired now.
+func (p *Pool) onRotate(now sim.Time) {
+	if p.ranCores == 0 || p.ranCores == p.cfg.PoolCores {
+		return
+	}
+	bi := p.bestEffortCore()
+	if bi < 0 {
+		return
+	}
+	if ci := p.idleRANCore(); ci >= 0 {
+		if bj := p.partnerCore(ci); bj >= 0 {
+			p.yieldCore(ci, now)
+			p.acquireCore(bj, now)
+			p.report.Rotations++
+		}
+		return
+	}
+	for i := range p.cores {
+		if p.cores[i].state == coreBusyRAN && !p.cores[i].drain {
+			bj := p.partnerCore(i)
+			if bj < 0 {
+				continue
+			}
+			p.cores[i].drain = true
+			p.acquireCore(bj, now)
+			p.report.Rotations++
+			return
+		}
+	}
+	// No idle or busy candidate: move a still-waking worker to a different
+	// physical core (the signal simply lands elsewhere).
+	for i := range p.cores {
+		if p.cores[i].state == coreWaking {
+			bj := p.partnerCore(i)
+			if bj < 0 {
+				continue
+			}
+			p.yieldCore(i, now)
+			p.acquireCore(bj, now)
+			p.report.Rotations++
+			return
+		}
+	}
+	_ = bi
+}
+
+// partnerCore returns a best-effort core that can replace core ci in a
+// rotation: any core in global-pool mode, a same-partition core otherwise.
+func (p *Pool) partnerCore(ci int) int {
+	for j := range p.cores {
+		if p.cores[j].state != coreBestEffort {
+			continue
+		}
+		if len(p.queues) == 1 || p.coreQueue(j) == p.coreQueue(ci) {
+			return j
+		}
+	}
+	return -1
+}
+
+// accountCoreTime integrates RAN-owned and best-effort core time up to now.
+func (p *Pool) accountCoreTime(now sim.Time) {
+	dt := now - p.lastAcc
+	if dt <= 0 {
+		return
+	}
+	p.lastAcc = now
+	busy := 0
+	for i := range p.cores {
+		if p.cores[i].state == coreBusyRAN {
+			busy++
+		}
+	}
+	seconds := dt.Seconds()
+	p.report.RANCoreSeconds += seconds * float64(p.ranCores)
+	p.report.BusyCoreSeconds += seconds * float64(busy)
+	be := float64(p.cfg.PoolCores - p.ranCores)
+	p.report.BestEffortCoreSeconds += seconds * be
+	if p.cfg.Workload != nil {
+		active := p.cfg.Workload.ActiveAt(now)
+		if len(active) > 0 {
+			share := seconds * be / float64(len(active))
+			for _, k := range active {
+				p.report.workloadCoreSeconds[k] += share
+			}
+		}
+	}
+}
+
+func (c coreState) String() string {
+	switch c {
+	case coreBestEffort:
+		return "best-effort"
+	case coreWaking:
+		return "waking"
+	case coreIdleRAN:
+		return "idle"
+	case coreBusyRAN:
+		return "busy"
+	default:
+		return fmt.Sprintf("coreState(%d)", int(c))
+	}
+}

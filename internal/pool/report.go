@@ -1,0 +1,246 @@
+package pool
+
+import (
+	"fmt"
+	"strings"
+
+	"concordia/internal/ran"
+	"concordia/internal/rng"
+	"concordia/internal/sim"
+	"concordia/internal/stats"
+	"concordia/internal/workloads"
+)
+
+// Report accumulates everything the §6 experiments read out of a run.
+type Report struct {
+	Duration sim.Time
+
+	Slots         uint64
+	DAGsReleased  uint64
+	DAGsCompleted uint64
+	TasksExecuted uint64
+	Misses        uint64
+	DAGsDropped   uint64
+
+	// Slot-processing latency distributions (µs), uplink and downlink.
+	LatencyUL *stats.TailRecorder
+	LatencyDL *stats.TailRecorder
+	// Latency across both directions.
+	Latency *stats.TailRecorder
+
+	// Scheduling events (yield/acquire transitions) and wakeup latencies.
+	SchedulingEvents uint64
+	Preemptions      uint64
+	Rotations        uint64
+	WakeupHistUs     *stats.Log2Histogram
+
+	// Core-time integrals (core-seconds).
+	RANCoreSeconds        float64
+	BusyCoreSeconds       float64
+	BestEffortCoreSeconds float64
+
+	// Per-task-kind runtime reservoirs (ns), for predictor analysis.
+	TaskRuntimes map[ran.TaskKind]*stats.Reservoir
+
+	// Per-direction execution-time splits for the Table 4 analysis.
+	CPUTimeUL, CPUTimeDL         sim.Time
+	OffloadTimeUL, OffloadTimeDL sim.Time
+	MakespanUL, MakespanDL       sim.Time
+	CountUL, CountDL             uint64
+
+	workloadCoreSeconds map[workloads.Kind]float64
+
+	poolCores int
+	workload  *workloads.Schedule
+}
+
+func newReport(cfg Config) *Report {
+	r := rng.New(cfg.Seed ^ 0x5ee0)
+	return &Report{
+		LatencyUL:           stats.NewTailRecorder(4096, 8192, r.Intn),
+		LatencyDL:           stats.NewTailRecorder(4096, 8192, r.Intn),
+		Latency:             stats.NewTailRecorder(4096, 8192, r.Intn),
+		WakeupHistUs:        stats.NewLog2Histogram(),
+		TaskRuntimes:        map[ran.TaskKind]*stats.Reservoir{},
+		workloadCoreSeconds: map[workloads.Kind]float64{},
+		poolCores:           cfg.PoolCores,
+		workload:            cfg.Workload,
+	}
+}
+
+func (r *Report) observeDAG(dir ran.SlotDir, latency sim.Time, missed bool) {
+	r.DAGsCompleted++
+	if missed {
+		r.Misses++
+	}
+	us := latency.Us()
+	r.Latency.Observe(us)
+	if dir == ran.Uplink {
+		r.LatencyUL.Observe(us)
+	} else {
+		r.LatencyDL.Observe(us)
+	}
+}
+
+// observeDAGTimes records the per-direction CPU/offload/makespan split.
+func (r *Report) observeDAGTimes(dir ran.SlotDir, cpu, offload, makespan sim.Time) {
+	if dir == ran.Uplink {
+		r.CPUTimeUL += cpu
+		r.OffloadTimeUL += offload
+		r.MakespanUL += makespan
+		r.CountUL++
+	} else {
+		r.CPUTimeDL += cpu
+		r.OffloadTimeDL += offload
+		r.MakespanDL += makespan
+		r.CountDL++
+	}
+}
+
+// AvgCPUPerDAG returns the mean CPU (non-offloaded) processing time per DAG
+// in the given direction — Table 4's "non-offloaded tasks" column.
+func (r *Report) AvgCPUPerDAG(dir ran.SlotDir) sim.Time {
+	if dir == ran.Uplink {
+		if r.CountUL == 0 {
+			return 0
+		}
+		return r.CPUTimeUL / sim.Time(r.CountUL)
+	}
+	if r.CountDL == 0 {
+		return 0
+	}
+	return r.CPUTimeDL / sim.Time(r.CountDL)
+}
+
+// AvgMakespanPerDAG returns the mean wall-clock slot processing time per DAG
+// in the given direction — Table 4's "total processing" column.
+func (r *Report) AvgMakespanPerDAG(dir ran.SlotDir) sim.Time {
+	if dir == ran.Uplink {
+		if r.CountUL == 0 {
+			return 0
+		}
+		return r.MakespanUL / sim.Time(r.CountUL)
+	}
+	if r.CountDL == 0 {
+		return 0
+	}
+	return r.MakespanDL / sim.Time(r.CountDL)
+}
+
+func (r *Report) observeWakeup(lat sim.Time) {
+	r.WakeupHistUs.Observe(uint64(lat.Us()))
+}
+
+func (r *Report) observeTask(kind ran.TaskKind, runtime sim.Time) {
+	res, ok := r.TaskRuntimes[kind]
+	if !ok {
+		rr := rng.New(uint64(kind) + 77)
+		res = stats.NewReservoir(4096, rr.Intn)
+		r.TaskRuntimes[kind] = res
+	}
+	res.Observe(float64(runtime))
+}
+
+func (r *Report) finish(duration sim.Time, cfg Config) {
+	r.Duration = duration
+}
+
+// Reliability returns the fraction of completed DAGs that met the deadline.
+func (r *Report) Reliability() float64 {
+	if r.DAGsCompleted == 0 {
+		return 1
+	}
+	return 1 - float64(r.Misses)/float64(r.DAGsCompleted)
+}
+
+// ReclaimedFraction is the share of pool core-time handed to best-effort
+// workloads — the y-axis of Fig 8a.
+func (r *Report) ReclaimedFraction() float64 {
+	total := r.Duration.Seconds() * float64(r.poolCores)
+	if total == 0 {
+		return 0
+	}
+	return r.BestEffortCoreSeconds / total
+}
+
+// RANUtilization is busy core-time over total pool core-time (the Fig 4a
+// metric uses busy over owned; both are exposed).
+func (r *Report) RANUtilization() float64 {
+	total := r.Duration.Seconds() * float64(r.poolCores)
+	if total == 0 {
+		return 0
+	}
+	return r.BusyCoreSeconds / total
+}
+
+// OwnedUtilization is busy core-time over RAN-owned core-time.
+func (r *Report) OwnedUtilization() float64 {
+	if r.RANCoreSeconds == 0 {
+		return 0
+	}
+	return r.BusyCoreSeconds / r.RANCoreSeconds
+}
+
+// IdealReclaimable is the upper bound of Fig 8a: every core-second not spent
+// actually executing RAN tasks.
+func (r *Report) IdealReclaimable() float64 {
+	total := r.Duration.Seconds() * float64(r.poolCores)
+	if total == 0 {
+		return 0
+	}
+	return (total - r.BusyCoreSeconds) / total
+}
+
+// CoreChurnPerMs is the scheduling-event rate, the driver of the cache
+// counters in Fig 9.
+func (r *Report) CoreChurnPerMs() float64 {
+	ms := r.Duration.Ms()
+	if ms == 0 {
+		return 0
+	}
+	return float64(r.SchedulingEvents) / ms
+}
+
+// TailLatencyUs returns the q-quantile of slot-processing latency in µs
+// across both directions.
+func (r *Report) TailLatencyUs(q float64) float64 { return r.Latency.Quantile(q) }
+
+// WorkloadThroughput returns achieved ops for the given workload over the
+// run, using the granted core-time and the preemption-driven disruption
+// index.
+func (r *Report) WorkloadThroughput(k workloads.Kind) float64 {
+	p, ok := workloads.ProfileOf(k)
+	if !ok {
+		return 0
+	}
+	cs := r.workloadCoreSeconds[k]
+	if cs <= 0 {
+		return 0
+	}
+	preemptRate := float64(r.Preemptions) / r.BestEffortCoreSeconds
+	return p.Throughput(cs, workloads.Disruption(preemptRate))
+}
+
+// WorkloadCoreSeconds returns the core-time granted to workload k.
+func (r *Report) WorkloadCoreSeconds(k workloads.Kind) float64 {
+	return r.workloadCoreSeconds[k]
+}
+
+// String renders a human-readable summary.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "duration        %v\n", r.Duration)
+	fmt.Fprintf(&sb, "slots           %d\n", r.Slots)
+	fmt.Fprintf(&sb, "dags            %d completed, %d missed (reliability %.5f%%)\n",
+		r.DAGsCompleted, r.Misses, 100*r.Reliability())
+	fmt.Fprintf(&sb, "tasks           %d\n", r.TasksExecuted)
+	fmt.Fprintf(&sb, "latency p99.99  %.0f us, p99.999 %.0f us, max %.0f us\n",
+		r.TailLatencyUs(0.9999), r.TailLatencyUs(0.99999), r.Latency.Max())
+	fmt.Fprintf(&sb, "reclaimed       %.1f%% (ideal bound %.1f%%)\n",
+		100*r.ReclaimedFraction(), 100*r.IdealReclaimable())
+	fmt.Fprintf(&sb, "ran util        %.1f%% of pool, %.1f%% of owned\n",
+		100*r.RANUtilization(), 100*r.OwnedUtilization())
+	fmt.Fprintf(&sb, "sched events    %d (%.2f per ms), %d preemptions, %d rotations\n",
+		r.SchedulingEvents, r.CoreChurnPerMs(), r.Preemptions, r.Rotations)
+	return sb.String()
+}

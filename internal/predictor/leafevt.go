@@ -1,0 +1,75 @@
+package predictor
+
+import (
+	"concordia/internal/ran"
+	"concordia/internal/sim"
+	"concordia/internal/stats"
+)
+
+// LeafEVTTree wraps a quantile tree but replaces Algorithm 2's max-of-ring
+// prediction with a per-leaf EVT (GPD tail) quantile — the variant §4.2
+// reports trying: "we also experimented with such methods (e.g. [23]) to
+// replace our online predictor on each leaf node, but they provided similar
+// accuracy while being more computationally expensive". The tail is refit
+// lazily every refit interval of observations per leaf.
+type LeafEVTTree struct {
+	tree       *QuantileTree
+	confidence float64
+	// cached per-leaf predictions and observation counters.
+	cached  []sim.Time
+	pending []int
+	// RefitEvery controls how many observations a leaf accumulates between
+	// tail refits (the compute-cost knob).
+	RefitEvery int
+}
+
+// NewLeafEVTTree wraps an already-trained quantile tree.
+func NewLeafEVTTree(t *QuantileTree, confidence float64) *LeafEVTTree {
+	l := &LeafEVTTree{
+		tree:       t,
+		confidence: confidence,
+		cached:     make([]sim.Time, t.NumLeaves()),
+		pending:    make([]int, t.NumLeaves()),
+		RefitEvery: 512,
+	}
+	for id := range l.cached {
+		l.refit(id)
+	}
+	return l
+}
+
+// refit recomputes the leaf's EVT prediction from its current ring buffer.
+func (l *LeafEVTTree) refit(id int) {
+	samples := l.tree.LeafSamples(id)
+	if len(samples) == 0 {
+		l.cached[id] = 0
+		return
+	}
+	g, err := stats.FitGPDTail(samples, 0.85)
+	if err != nil {
+		// Too few samples for a tail fit: fall back to the empirical max.
+		l.cached[id] = sim.Time(stats.Max(samples))
+		return
+	}
+	v := g.Quantile(l.confidence)
+	if max := stats.Max(samples); v < max {
+		v = max
+	}
+	l.cached[id] = sim.Time(v)
+}
+
+// Predict returns the leaf's EVT-quantile WCET.
+func (l *LeafEVTTree) Predict(f ran.FeatureVector) sim.Time {
+	return l.cached[l.tree.LeafID(f)]
+}
+
+// Observe pushes the runtime into the leaf ring and refits periodically.
+func (l *LeafEVTTree) Observe(f ran.FeatureVector, runtime sim.Time) {
+	id := l.tree.LeafID(f)
+	l.tree.Observe(f, runtime)
+	l.pending[id]++
+	if l.pending[id] >= l.RefitEvery {
+		l.pending[id] = 0
+		l.refit(id)
+	}
+}

@@ -1,0 +1,93 @@
+// Package predictor implements the paper's central ML contribution: the
+// parameterized worst-case-execution-time (WCET) predictor built on quantile
+// decision trees (§4.2, Algorithms 1 and 2), plus the baseline predictors it
+// is evaluated against in §6.3–6.4 — ordinary linear regression, gradient
+// boosting, and the single-value EVT/pWCET approach from the probabilistic
+// timing-analysis literature.
+//
+// All predictors implement the same contract: given a task's input-feature
+// vector they return a WCET estimate, and they accept observed runtimes to
+// adapt online (the interference-compensation mechanism of §4.2).
+package predictor
+
+import (
+	"concordia/internal/ran"
+	"concordia/internal/sim"
+)
+
+// Predictor estimates task WCETs from input features.
+type Predictor interface {
+	// Predict returns the WCET estimate for a task with the given features.
+	Predict(f ran.FeatureVector) sim.Time
+	// Observe feeds one measured runtime back into the model (online phase).
+	Observe(f ran.FeatureVector, runtime sim.Time)
+}
+
+// Sample is one profiling observation: the vRAN state features of a TTI and
+// the measured runtime of one task execution.
+type Sample struct {
+	Features ran.FeatureVector
+	Runtime  sim.Time
+}
+
+// RingBuffer is the per-leaf store of Algorithm 2: the most recent runtime
+// observations, whose maximum is the leaf's WCET prediction. The paper's
+// implementation sizes these at 5000 entries.
+type RingBuffer struct {
+	buf  []sim.Time
+	next int
+	full bool
+}
+
+// DefaultRingSize matches the paper's 5 K-entry leaf buffers.
+const DefaultRingSize = 5000
+
+// NewRingBuffer returns an empty buffer of the given capacity.
+func NewRingBuffer(capacity int) *RingBuffer {
+	if capacity <= 0 {
+		panic("predictor: ring buffer capacity must be positive")
+	}
+	return &RingBuffer{buf: make([]sim.Time, 0, capacity)}
+}
+
+// Push appends an observation, evicting the oldest once full.
+func (r *RingBuffer) Push(v sim.Time) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v)
+		return
+	}
+	r.full = true
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Max returns the largest stored observation, or 0 when empty.
+func (r *RingBuffer) Max() sim.Time {
+	var m sim.Time
+	for _, v := range r.buf {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Len returns the number of stored observations.
+func (r *RingBuffer) Len() int { return len(r.buf) }
+
+// Values returns the stored observations (not a copy; callers must not
+// mutate).
+func (r *RingBuffer) Values() []sim.Time { return r.buf }
+
+// Quantile returns the q-quantile of the stored observations, or 0 when
+// empty. Used by analysis tooling, not by the hot prediction path.
+func (r *RingBuffer) Quantile(q float64) sim.Time {
+	if len(r.buf) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(r.buf))
+	for i, v := range r.buf {
+		xs[i] = float64(v)
+	}
+	return sim.Time(quantileOf(xs, q))
+}

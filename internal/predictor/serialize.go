@@ -1,0 +1,192 @@
+package predictor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"concordia/internal/ran"
+	"concordia/internal/sim"
+)
+
+// The paper's offline pipeline emits the trained decision trees as generated
+// C code (~6 K lines) that FlexRAN links against. This file provides the
+// equivalent deployment path for the reproduction: JSON persistence (train
+// once, load at startup) and Go source-code generation for a zero-allocation
+// traversal function.
+
+// treeJSON is the serialized tree form.
+type treeJSON struct {
+	Kind     int        `json:"kind"`
+	Features []int      `json:"features"`
+	Margin   float64    `json:"margin"`
+	RingSize int        `json:"ring_size"`
+	Nodes    []nodeJSON `json:"nodes"`
+}
+
+// nodeJSON flattens the tree: children reference node indices; leaves carry
+// their training samples (capped) so a loaded tree predicts immediately.
+type nodeJSON struct {
+	Leaf      bool    `json:"leaf"`
+	Feature   int     `json:"feature,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Left      int     `json:"left,omitempty"`
+	Right     int     `json:"right,omitempty"`
+	LeafID    int     `json:"leaf_id,omitempty"`
+	Samples   []int64 `json:"samples,omitempty"`
+}
+
+// maxSerializedSamples caps per-leaf persisted samples; the online phase
+// refills the rings anyway.
+const maxSerializedSamples = 512
+
+// MarshalJSON serializes the tree, including a bounded sample of each
+// leaf's ring buffer.
+func (t *QuantileTree) MarshalJSON() ([]byte, error) {
+	tj := treeJSON{
+		Kind:     int(t.Kind),
+		Margin:   t.Margin,
+		RingSize: DefaultRingSize,
+	}
+	for _, f := range t.Features {
+		tj.Features = append(tj.Features, int(f))
+	}
+	var flatten func(n *treeNode) int
+	flatten = func(n *treeNode) int {
+		idx := len(tj.Nodes)
+		tj.Nodes = append(tj.Nodes, nodeJSON{})
+		if n.leaf {
+			vals := n.ring.Values()
+			keep := len(vals)
+			if keep > maxSerializedSamples {
+				keep = maxSerializedSamples
+			}
+			samples := make([]int64, 0, keep)
+			// Keep the largest values first so Max survives truncation.
+			max := n.ring.Max()
+			samples = append(samples, int64(max))
+			for _, v := range vals {
+				if len(samples) >= keep {
+					break
+				}
+				if v != max {
+					samples = append(samples, int64(v))
+				}
+			}
+			tj.Nodes[idx] = nodeJSON{Leaf: true, LeafID: n.leafID, Samples: samples}
+			return idx
+		}
+		left := flatten(n.left)
+		right := flatten(n.right)
+		tj.Nodes[idx] = nodeJSON{
+			Feature:   int(n.feature),
+			Threshold: n.threshold,
+			Left:      left,
+			Right:     right,
+		}
+		return idx
+	}
+	if t.root != nil {
+		flatten(t.root)
+	}
+	return json.Marshal(tj)
+}
+
+// LoadQuantileTree reconstructs a tree from MarshalJSON output. Leaf rings
+// are seeded with the persisted samples.
+func LoadQuantileTree(data []byte) (*QuantileTree, error) {
+	var tj treeJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return nil, err
+	}
+	if len(tj.Nodes) == 0 {
+		return nil, errors.New("predictor: empty serialized tree")
+	}
+	ringSize := tj.RingSize
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	t := &QuantileTree{Kind: ran.TaskKind(tj.Kind), Margin: tj.Margin}
+	if t.Margin <= 0 {
+		t.Margin = 1
+	}
+	for _, f := range tj.Features {
+		t.Features = append(t.Features, ran.Feature(f))
+	}
+	var build func(idx int) (*treeNode, error)
+	built := make(map[int]bool)
+	build = func(idx int) (*treeNode, error) {
+		if idx < 0 || idx >= len(tj.Nodes) || built[idx] {
+			return nil, fmt.Errorf("predictor: invalid node reference %d", idx)
+		}
+		built[idx] = true
+		nj := tj.Nodes[idx]
+		if nj.Leaf {
+			n := &treeNode{leaf: true, leafID: nj.LeafID, ring: NewRingBuffer(ringSize)}
+			for _, v := range nj.Samples {
+				n.ring.Push(sim.Time(v))
+			}
+			for len(t.leaves) <= nj.LeafID {
+				t.leaves = append(t.leaves, nil)
+			}
+			if t.leaves[nj.LeafID] != nil {
+				return nil, fmt.Errorf("predictor: duplicate leaf id %d", nj.LeafID)
+			}
+			t.leaves[nj.LeafID] = n
+			return n, nil
+		}
+		left, err := build(nj.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := build(nj.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &treeNode{
+			feature:   ran.Feature(nj.Feature),
+			threshold: nj.Threshold,
+			left:      left,
+			right:     right,
+		}, nil
+	}
+	root, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+// GenerateGo emits a standalone Go function that routes a feature vector to
+// its leaf index — the reproduction's analogue of the paper's generated C
+// traversal code. The emitted function has signature
+//
+//	func <name>(f [N]float64) int
+//
+// where indices follow ran.Feature ordering.
+func (t *QuantileTree) GenerateGo(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// Code generated from a trained quantile decision tree for %v. DO NOT EDIT.\n", t.Kind)
+	fmt.Fprintf(&sb, "func %s(f [%d]float64) int {\n", name, int(ran.NumFeatures))
+	var emit func(n *treeNode, depth int)
+	emit = func(n *treeNode, depth int) {
+		pad := strings.Repeat("\t", depth)
+		if n.leaf {
+			fmt.Fprintf(&sb, "%sreturn %d\n", pad, n.leafID)
+			return
+		}
+		fmt.Fprintf(&sb, "%sif f[%d] <= %v {\n", pad, int(n.feature), n.threshold)
+		emit(n.left, depth+1)
+		fmt.Fprintf(&sb, "%s}\n", pad)
+		emit(n.right, depth+1)
+	}
+	if t.root != nil {
+		emit(t.root, 1)
+	} else {
+		sb.WriteString("\treturn 0\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

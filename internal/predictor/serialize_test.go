@@ -1,0 +1,83 @@
+package predictor
+
+import (
+	"strings"
+	"testing"
+
+	"concordia/internal/costmodel"
+	"concordia/internal/ran"
+)
+
+func TestTreeJSONRoundTrip(t *testing.T) {
+	data := profileDecode(6000, 40, costmodel.Env{PoolCores: 4})
+	tree := trainDecodeTree(t, data)
+	blob, err := tree.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadQuantileTree(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Kind != tree.Kind || loaded.NumLeaves() != tree.NumLeaves() {
+		t.Fatalf("structure changed: %d leaves -> %d", tree.NumLeaves(), loaded.NumLeaves())
+	}
+	// Routing must be identical, and predictions must survive (the leaf max
+	// is preserved by construction).
+	for _, s := range data[:500] {
+		if tree.LeafID(s.Features) != loaded.LeafID(s.Features) {
+			t.Fatal("leaf routing changed through serialization")
+		}
+		if tree.Predict(s.Features) != loaded.Predict(s.Features) {
+			t.Fatalf("prediction changed: %v vs %v",
+				tree.Predict(s.Features), loaded.Predict(s.Features))
+		}
+	}
+}
+
+func TestLoadedTreeStillAdapts(t *testing.T) {
+	data := profileDecode(4000, 41, costmodel.Env{PoolCores: 4})
+	tree := trainDecodeTree(t, data)
+	blob, _ := tree.MarshalJSON()
+	loaded, err := LoadQuantileTree(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := data[0].Features
+	before := loaded.Predict(f)
+	loaded.Observe(f, before*3)
+	if loaded.Predict(f) <= before {
+		t.Fatal("loaded tree did not adapt online")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadQuantileTree([]byte("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := LoadQuantileTree([]byte(`{"nodes":[]}`)); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+	// Cyclic/invalid node references must be rejected.
+	if _, err := LoadQuantileTree([]byte(`{"nodes":[{"leaf":false,"left":0,"right":0}]}`)); err == nil {
+		t.Fatal("self-referencing node accepted")
+	}
+}
+
+func TestGenerateGo(t *testing.T) {
+	data := profileDecode(4000, 42, costmodel.Env{PoolCores: 4})
+	tree := trainDecodeTree(t, data)
+	src := tree.GenerateGo("routeLDPCDecode")
+	if !strings.Contains(src, "func routeLDPCDecode(") {
+		t.Fatal("missing function signature")
+	}
+	if !strings.Contains(src, "DO NOT EDIT") {
+		t.Fatal("missing generated-code marker")
+	}
+	// Every leaf must appear as a return.
+	returns := strings.Count(src, "return ")
+	if returns < tree.NumLeaves() {
+		t.Fatalf("generated code has %d returns for %d leaves", returns, tree.NumLeaves())
+	}
+	_ = ran.NumFeatures
+}

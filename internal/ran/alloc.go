@@ -1,0 +1,65 @@
+package ran
+
+import (
+	"concordia/internal/rng"
+)
+
+// AllocateSlot converts a slot's MAC payload demand (bytes) into per-UE
+// allocations: it draws active UEs, assigns them wideband SNRs (which fix
+// their MCS through link adaptation), splits the payload, and sizes PRBs and
+// transport blocks. The returned allocations are what the DAG builders and
+// the WCET predictor see as the vRAN state of the TTI.
+func AllocateSlot(cfg CellConfig, payloadBytes int, r *rng.Rand) []UEAlloc {
+	if payloadBytes <= 0 {
+		return nil
+	}
+	// Active UE count grows sub-linearly with the payload: small slots are
+	// usually one UE, peak slots spread across several.
+	maxUEs := cfg.MaxUEs
+	n := 1 + r.Poisson(float64(payloadBytes)/4096)
+	if n > maxUEs {
+		n = maxUEs
+	}
+	// Random payload split across UEs.
+	weights := make([]float64, n)
+	var wsum float64
+	for i := range weights {
+		weights[i] = 0.2 + r.Float64()
+		wsum += weights[i]
+	}
+	prbBudget := cfg.PRBs()
+	out := make([]UEAlloc, 0, n)
+	for i := 0; i < n && prbBudget > 0; i++ {
+		ueBytes := int(float64(payloadBytes) * weights[i] / wsum)
+		if ueBytes <= 0 {
+			continue
+		}
+		// SNR drawn from a truncated normal around a healthy operating
+		// point; poor SNR UEs exist and stress the decoder.
+		snr := r.Normal(18, 7)
+		if snr < 0 {
+			snr = 0
+		}
+		if snr > 32 {
+			snr = 32
+		}
+		mcs := MCSFromSNR(snr)
+		layers := 1 + r.Intn(cfg.MaxLayers)
+		prbs := PRBsForBytes(ueBytes, mcs, layers, prbBudget)
+		if prbs == 0 {
+			continue
+		}
+		prbBudget -= prbs
+		tbs := TransportBlockSize(prbs, mcs, layers)
+		out = append(out, UEAlloc{
+			UE:         i,
+			SNRdB:      snr,
+			MCS:        mcs,
+			Layers:     layers,
+			PRBs:       prbs,
+			TBSBits:    tbs,
+			Codeblocks: CodeblockCount(tbs),
+		})
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package ran
+
+// Feature indexes one element of a task's input-parameter vector. The WCET
+// predictor (Algorithm 1) selects a per-task subset of these; the cost model
+// uses them to produce input-dependent runtimes.
+type Feature int
+
+// The vRAN state features the paper's predictor draws from ("number of
+// scheduled UEs and their transport block sizes, number of layers, etc").
+const (
+	FNumUEs     Feature = iota // UEs scheduled in the slot (cell-wide)
+	FTBSBits                   // transport block size of this task's UE
+	FCodeblocks                // LDPC codeblocks this task covers
+	FMCSIndex                  // link-adaptation row
+	FModOrder                  // bits per symbol
+	FCodeRate                  // LDPC code rate
+	FLayers                    // spatial layers
+	FSNRdB                     // wideband SNR of the UE
+	FPRBs                      // allocated physical resource blocks
+	FAntennas                  // gNB antenna ports
+	FSlotBytes                 // total MAC bytes in the slot (cell-wide)
+	FPoolCores                 // worker cores currently assigned to the pool
+	NumFeatures
+)
+
+// FeatureNames maps features to the labels used in reports.
+var FeatureNames = [NumFeatures]string{
+	"num_ues", "tbs_bits", "codeblocks", "mcs_index", "mod_order",
+	"code_rate", "layers", "snr_db", "prbs", "antennas", "slot_bytes",
+	"pool_cores",
+}
+
+// String implements fmt.Stringer.
+func (f Feature) String() string {
+	if f < 0 || f >= NumFeatures {
+		return "unknown"
+	}
+	return FeatureNames[f]
+}
+
+// FeatureVector is a task's full input-parameter vector.
+type FeatureVector [NumFeatures]float64
+
+// Get returns the value of feature f.
+func (v FeatureVector) Get(f Feature) float64 { return v[f] }
+
+// Set assigns feature f.
+func (v *FeatureVector) Set(f Feature, x float64) { v[f] = x }
+
+// Select extracts the named subset as a plain slice, in order.
+func (v FeatureVector) Select(fs []Feature) []float64 {
+	out := make([]float64, len(fs))
+	for i, f := range fs {
+		out[i] = v[f]
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package ran
+
+import (
+	"math"
+
+	"concordia/internal/phy"
+)
+
+// MCS is one row of the modulation-and-coding-scheme table: a constellation
+// plus a target code rate.
+type MCS struct {
+	Index      int
+	Modulation phy.Modulation
+	CodeRate   float64 // information bits per coded bit
+}
+
+// MCSTable is a condensed 38.214-style table spanning QPSK 1/5 through
+// 256QAM 0.93. Link adaptation picks a row from SNR.
+var MCSTable = []MCS{
+	{0, phy.QPSK, 0.19}, {1, phy.QPSK, 0.30}, {2, phy.QPSK, 0.44},
+	{3, phy.QPSK, 0.59}, {4, phy.QAM16, 0.37}, {5, phy.QAM16, 0.48},
+	{6, phy.QAM16, 0.60}, {7, phy.QAM16, 0.74}, {8, phy.QAM64, 0.55},
+	{9, phy.QAM64, 0.65}, {10, phy.QAM64, 0.75}, {11, phy.QAM64, 0.85},
+	{12, phy.QAM256, 0.70}, {13, phy.QAM256, 0.78}, {14, phy.QAM256, 0.86},
+	{15, phy.QAM256, 0.93},
+}
+
+// MCSFromSNR performs idealized link adaptation: the highest MCS whose
+// Shannon-gap-adjusted spectral efficiency fits the SNR.
+func MCSFromSNR(snrDB float64) MCS {
+	// Effective capacity with a 3 dB implementation gap.
+	cap := math.Log2(1 + math.Pow(10, (snrDB-3)/10))
+	best := MCSTable[0]
+	for _, m := range MCSTable {
+		eff := float64(m.Modulation.BitsPerSymbol()) * m.CodeRate
+		if eff <= cap {
+			best = m
+		}
+	}
+	return best
+}
+
+// resourceElementsPerPRB is the data-bearing REs in one PRB over one slot:
+// 12 subcarriers × 14 symbols minus ~18% control/DM-RS overhead.
+const resourceElementsPerPRB = 12 * 14 * 82 / 100
+
+// TransportBlockSize returns the TBS in bits for an allocation of prbs
+// physical resource blocks at the given MCS and layer count, following the
+// 38.214 intermediate-number-of-bits procedure (simplified: byte-aligned,
+// minimum 24 bits).
+func TransportBlockSize(prbs int, mcs MCS, layers int) int {
+	if prbs <= 0 || layers <= 0 {
+		return 0
+	}
+	re := prbs * resourceElementsPerPRB
+	n := float64(re) * float64(mcs.Modulation.BitsPerSymbol()) * mcs.CodeRate * float64(layers)
+	tbs := int(n/8) * 8
+	if tbs < 24 {
+		tbs = 24
+	}
+	return tbs
+}
+
+// PRBsForBytes returns the minimum PRB allocation that carries payloadBytes
+// at the given MCS and layers, capped at maxPRB.
+func PRBsForBytes(payloadBytes int, mcs MCS, layers, maxPRB int) int {
+	if payloadBytes <= 0 {
+		return 0
+	}
+	need := payloadBytes * 8
+	perPRB := TransportBlockSize(1, mcs, layers)
+	if perPRB <= 0 {
+		return maxPRB
+	}
+	prbs := (need + perPRB - 1) / perPRB
+	if prbs > maxPRB {
+		prbs = maxPRB
+	}
+	return prbs
+}
+
+// CodeblockCount returns the number of LDPC codeblocks a TBS segments into.
+func CodeblockCount(tbsBits int) int {
+	if tbsBits <= 0 {
+		return 0
+	}
+	seg, err := phy.Segment(tbsBits)
+	if err != nil {
+		return 0
+	}
+	return seg.NumBlocks
+}

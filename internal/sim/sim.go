@@ -1,0 +1,243 @@
+// Package sim implements the discrete-event simulation kernel that the rest
+// of the repository runs on.
+//
+// The paper's Concordia scheduler re-evaluates its core allocation every
+// 20 µs of wall-clock time on an isolated CPU core. A managed runtime cannot
+// honour that fidelity (garbage collection and goroutine scheduling introduce
+// jitter well above 20 µs), so the reproduction replaces the physical clock
+// with a virtual one: every actor — worker threads, the Concordia scheduler
+// tick, traffic arrivals, OS wakeup latencies — is an event on a single
+// deterministic timeline with nanosecond resolution. Events at the same
+// instant fire in scheduling order (FIFO), which keeps runs reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point on the virtual timeline, in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Common durations, expressed in Time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Us returns t as a floating-point number of microseconds.
+func (t Time) Us() float64 { return float64(t) / float64(Microsecond) }
+
+// Ms returns t as a floating-point number of milliseconds.
+func (t Time) Ms() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", t.Us())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", t.Ms())
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// FromUs converts a duration in microseconds to Time.
+func FromUs(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// FromMs converts a duration in milliseconds to Time.
+func FromMs(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when not queued
+}
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired or was already canceled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+// At returns the scheduled firing time.
+func (e *Event) At() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the pending-event queue.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including canceled ones
+// that have not been drained yet).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop halts Run before the next event is dispatched.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event, advancing the clock to its
+// timestamp. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in timestamp order until the queue drains, Stop is
+// called, or the next event lies strictly beyond until. The clock finishes at
+// min(until, last event time); it advances to until if the queue drains
+// early, so back-to-back Run calls observe a monotonic clock.
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for !e.stopped {
+		// Peek for the horizon check before popping.
+		var next *Event
+		for len(e.queue) > 0 {
+			if e.queue[0].canceled {
+				heap.Pop(&e.queue)
+				continue
+			}
+			next = e.queue[0]
+			break
+		}
+		if next == nil || next.at > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll executes every pending event regardless of horizon.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// Ticker repeatedly invokes fn every period, starting at start, until either
+// the returned stop function is called or the engine stops scheduling.
+type Ticker struct {
+	ev     *Event
+	period Time
+	fn     func(Time)
+	eng    *Engine
+	stop   bool
+}
+
+// NewTicker registers a periodic callback. fn receives the tick time. The
+// Concordia scheduler's 20 µs re-evaluation loop is one of these.
+func NewTicker(e *Engine, start, period Time, fn func(Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{period: period, fn: fn, eng: e}
+	t.ev = e.At(start, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stop {
+		return
+	}
+	now := t.eng.Now()
+	t.fn(now)
+	if !t.stop {
+		t.ev = t.eng.At(now+t.period, t.tick)
+	}
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.ev.Cancel()
+}

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimestampOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.RunAll()
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		if e.Now() != 10 {
+			t.Errorf("now=%v inside event at 10", e.Now())
+		}
+		e.After(5, func() {
+			if e.Now() != 15 {
+				t.Errorf("now=%v inside chained event", e.Now())
+			}
+		})
+	})
+	e.RunAll()
+	if e.Now() != 15 {
+		t.Fatalf("final clock %v want 15", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.RunAll()
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	ev.Cancel()
+	e.RunAll()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() false after Cancel")
+	}
+}
+
+func TestCancelIdempotent(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(10, func() {})
+	ev.Cancel()
+	ev.Cancel() // must not panic
+	e.RunAll()
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.Run(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10 and 20 only", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock %v want horizon 25", e.Now())
+	}
+	e.Run(100)
+	if len(fired) != 4 {
+		t.Fatalf("second run fired %v", fired)
+	}
+}
+
+func TestRunAdvancesToHorizonWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	e.Run(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("clock %v want 1000", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(10, func() { count++; e.Stop() })
+	e.At(20, func() { count++ })
+	e.RunAll()
+	if count != 1 {
+		t.Fatalf("Stop did not halt run: count=%d", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	NewTicker(e, 0, 20*Microsecond, func(now Time) { ticks = append(ticks, now) })
+	e.Run(100 * Microsecond)
+	want := []Time{0, 20000, 40000, 60000, 80000, 100000}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks %v want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(e, 0, 10, func(Time) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run(1000)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after stop at 3", count)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-period ticker did not panic")
+		}
+	}()
+	NewTicker(NewEngine(), 0, 0, func(Time) {})
+}
+
+func TestPendingAndFiredCounters(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending %d want 2", e.Pending())
+	}
+	e.RunAll()
+	if e.Fired() != 2 {
+		t.Fatalf("fired %d want 2", e.Fired())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d want 0 after run", e.Pending())
+	}
+}
+
+// Property: for any multiset of timestamps, events fire in sorted order.
+func TestPropertyOrdering(t *testing.T) {
+	err := quick.Check(func(raw []uint32) bool {
+		e := NewEngine()
+		var got []Time
+		want := make([]Time, 0, len(raw))
+		for _, r := range raw {
+			at := Time(r % 1_000_000)
+			want = append(want, at)
+			at2 := at
+			e.At(at2, func() { got = append(got, at2) })
+		}
+		e.RunAll()
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		500:             "500ns",
+		1500:            "1.500us",
+		2 * Millisecond: "2.000ms",
+		3 * Second:      "3.000s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestFromUsFromMs(t *testing.T) {
+	if FromUs(20) != 20*Microsecond {
+		t.Fatal("FromUs(20)")
+	}
+	if FromMs(1.5) != 1500*Microsecond {
+		t.Fatal("FromMs(1.5)")
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%100), func() {})
+		if e.Pending() > 1024 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}

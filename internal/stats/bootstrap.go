@@ -1,0 +1,54 @@
+package stats
+
+import "sort"
+
+// Bootstrap provides nonparametric confidence intervals for experiment
+// summaries: EXPERIMENTS.md reports paper-vs-measured comparisons with
+// percentile-bootstrap CIs so shape claims are not over-read from single
+// runs.
+type Bootstrap struct {
+	// Resamples is the number of bootstrap replicates (default 1000).
+	Resamples int
+	// RandInt must return a uniform integer in [0, n).
+	RandInt func(n int) int
+}
+
+// NewBootstrap returns a bootstrap engine with the given deterministic
+// integer source.
+func NewBootstrap(randInt func(n int) int) *Bootstrap {
+	return &Bootstrap{Resamples: 1000, RandInt: randInt}
+}
+
+// CI returns the (lo, hi) percentile-bootstrap confidence interval at the
+// given level (e.g. 0.95) for statistic applied to xs. The statistic is
+// evaluated on resampled-with-replacement copies of xs.
+func (b *Bootstrap) CI(xs []float64, level float64, statistic func([]float64) float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	n := b.Resamples
+	if n <= 0 {
+		n = 1000
+	}
+	stats := make([]float64, n)
+	resample := make([]float64, len(xs))
+	for i := 0; i < n; i++ {
+		for j := range resample {
+			resample[j] = xs[b.RandInt(len(xs))]
+		}
+		stats[i] = statistic(resample)
+	}
+	sort.Float64s(stats)
+	alpha := (1 - level) / 2
+	return QuantileSorted(stats, alpha), QuantileSorted(stats, 1-alpha)
+}
+
+// MeanCI is CI for the mean.
+func (b *Bootstrap) MeanCI(xs []float64, level float64) (lo, hi float64) {
+	return b.CI(xs, level, Mean)
+}
+
+// QuantileCI is CI for the q-quantile.
+func (b *Bootstrap) QuantileCI(xs []float64, q, level float64) (lo, hi float64) {
+	return b.CI(xs, level, func(s []float64) float64 { return Quantile(s, q) })
+}

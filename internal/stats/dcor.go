@@ -1,0 +1,71 @@
+package stats
+
+import "math"
+
+// DistanceCorrelation returns the Székely-Rizzo distance correlation between
+// x and y, a dependence measure in [0, 1] that is zero iff the variables are
+// independent (for finite first moments). Unlike Pearson correlation it
+// detects non-linear and non-monotonic relationships, which is why the paper
+// uses it for feature selection (Algorithm 1).
+//
+// The O(n^2) pairwise-distance formulation is used; callers subsample large
+// datasets before invoking it, as the paper's offline pipeline does.
+func DistanceCorrelation(x, y []float64) float64 {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return 0
+	}
+	a := centeredDistances(x)
+	b := centeredDistances(y)
+	var dcov, dvarX, dvarY float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dcov += a[i][j] * b[i][j]
+			dvarX += a[i][j] * a[i][j]
+			dvarY += b[i][j] * b[i][j]
+		}
+	}
+	nn := float64(n * n)
+	dcov /= nn
+	dvarX /= nn
+	dvarY /= nn
+	denom := math.Sqrt(dvarX * dvarY)
+	if denom == 0 {
+		return 0
+	}
+	v := math.Sqrt(dcov) / math.Sqrt(denom)
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// centeredDistances returns the double-centered pairwise distance matrix.
+func centeredDistances(x []float64) [][]float64 {
+	n := len(x)
+	d := make([][]float64, n)
+	rowMean := make([]float64, n)
+	var grand float64
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := math.Abs(x[i] - x[j])
+			d[i][j] = v
+			rowMean[i] += v
+		}
+		rowMean[i] /= float64(n)
+		grand += rowMean[i]
+	}
+	grand /= float64(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d[i][j] = d[i][j] - rowMean[i] - rowMean[j] + grand
+		}
+	}
+	return d
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// OLS holds a fitted ordinary-least-squares linear model
+// y ≈ intercept + Σ coef[i]·x[i]. It backs both the linear-regression WCET
+// baseline (Fig 14) and backwards-elimination feature scoring.
+type OLS struct {
+	Intercept float64
+	Coef      []float64
+}
+
+// ErrSingular is returned when the normal equations cannot be solved, e.g.
+// for perfectly collinear features.
+var ErrSingular = errors.New("stats: singular design matrix")
+
+// FitOLS fits a linear model on rows X (n×p) against y (n) by solving the
+// normal equations with Gaussian elimination and partial pivoting. A small
+// ridge term stabilizes near-singular designs.
+func FitOLS(X [][]float64, y []float64) (*OLS, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, errors.New("stats: empty or mismatched OLS inputs")
+	}
+	p := len(X[0])
+	// Augment with intercept column; build (p+1)x(p+1) normal matrix.
+	d := p + 1
+	a := make([][]float64, d)
+	b := make([]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d)
+	}
+	row := make([]float64, d)
+	for r := 0; r < n; r++ {
+		row[0] = 1
+		copy(row[1:], X[r])
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			b[i] += row[i] * y[r]
+		}
+	}
+	const ridge = 1e-9
+	for i := 1; i < d; i++ {
+		a[i][i] += ridge * a[i][i]
+	}
+	coef, err := SolveLinear(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &OLS{Intercept: coef[0], Coef: coef[1:]}, nil
+}
+
+// Predict evaluates the model on a feature vector.
+func (m *OLS) Predict(x []float64) float64 {
+	v := m.Intercept
+	for i, c := range m.Coef {
+		if i < len(x) {
+			v += c * x[i]
+		}
+	}
+	return v
+}
+
+// SolveLinear solves a·x = b in place using Gaussian elimination with
+// partial pivoting. a and b are modified.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		best := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[best][col]) {
+				best = r
+			}
+		}
+		if math.Abs(a[best][col]) < 1e-14 {
+			return nil, ErrSingular
+		}
+		a[col], a[best] = a[best], a[col]
+		b[col], b[best] = b[best], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		v := b[r]
+		for c := r + 1; c < n; c++ {
+			v -= a[r][c] * x[c]
+		}
+		x[r] = v / a[r][r]
+	}
+	return x, nil
+}
+
+// RSquared returns the coefficient of determination of the model over the
+// given data.
+func (m *OLS) RSquared(X [][]float64, y []float64) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	my := Mean(y)
+	var ssRes, ssTot float64
+	for i := range X {
+		p := m.Predict(X[i])
+		ssRes += (y[i] - p) * (y[i] - p)
+		ssTot += (y[i] - my) * (y[i] - my)
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

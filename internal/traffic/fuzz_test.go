@@ -1,0 +1,34 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the trace parser against hostile input: it must never
+// panic, and anything it accepts must round-trip through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("tti,cell0\n0,100\n1,0\n")
+	f.Add("tti,cell0,cell1\n0,1,2\n")
+	f.Add("")
+	f.Add("tti,cell0\n0,-1\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Cells != tr.Cells || len(back.Volumes) != len(tr.Volumes) {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package traffic
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Source produces per-cell slot volumes; the pool consumes one of these per
+// link direction. Generator is the synthetic implementation; Replayer
+// re-plays captured traces (the paper's methodology: emulated 5G benchmarks
+// built from recorded LTE fluctuation patterns).
+type Source interface {
+	Cells() int
+	NextSlot() []int
+}
+
+// Replayer cycles through a materialized trace.
+type Replayer struct {
+	trace *Trace
+	pos   int
+	// ScaleVolume multiplies every replayed volume (the paper scales its
+	// LTE traces >10× for the 5G benchmarks); 0 means 1.
+	ScaleVolume float64
+}
+
+// NewReplayer wraps a trace as a Source. Replaying loops when the trace is
+// exhausted.
+func NewReplayer(tr *Trace, scale float64) (*Replayer, error) {
+	if tr == nil || len(tr.Volumes) == 0 {
+		return nil, errors.New("traffic: empty trace")
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Replayer{trace: tr, ScaleVolume: scale}, nil
+}
+
+// Cells implements Source.
+func (r *Replayer) Cells() int { return r.trace.Cells }
+
+// NextSlot implements Source.
+func (r *Replayer) NextSlot() []int {
+	row := r.trace.Volumes[r.pos]
+	r.pos = (r.pos + 1) % len(r.trace.Volumes)
+	out := make([]int, len(row))
+	for i, v := range row {
+		out[i] = int(float64(v) * r.ScaleVolume)
+	}
+	return out
+}
+
+// WriteCSV emits the trace in the tracegen format: a "tti,cell0,..." header
+// followed by one row per TTI.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "tti")
+	for c := 0; c < tr.Cells; c++ {
+		fmt.Fprintf(bw, ",cell%d", c)
+	}
+	fmt.Fprintln(bw)
+	for t, row := range tr.Volumes {
+		fmt.Fprint(bw, t)
+		for _, v := range row {
+			fmt.Fprintf(bw, ",%d", v)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or cmd/tracegen).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, errors.New("traffic: empty CSV")
+	}
+	head := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	if len(head) < 2 || head[0] != "tti" {
+		return nil, errors.New("traffic: malformed CSV header")
+	}
+	cells := len(head) - 1
+	tr := &Trace{Cells: cells}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != cells+1 {
+			return nil, fmt.Errorf("traffic: line %d has %d fields, want %d", line, len(fields), cells+1)
+		}
+		if _, err := strconv.Atoi(fields[0]); err != nil {
+			return nil, fmt.Errorf("traffic: line %d: bad tti %q", line, fields[0])
+		}
+		row := make([]int, cells)
+		for i := 0; i < cells; i++ {
+			v, err := strconv.Atoi(fields[i+1])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("traffic: line %d cell %d: bad volume %q", line, i, fields[i+1])
+			}
+			row[i] = v
+		}
+		tr.Volumes = append(tr.Volumes, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(tr.Volumes) == 0 {
+		return nil, errors.New("traffic: CSV contains no rows")
+	}
+	return tr, nil
+}

@@ -1,0 +1,84 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReplayerLoops(t *testing.T) {
+	tr := &Trace{Cells: 2, Volumes: [][]int{{1, 2}, {3, 4}}}
+	r, err := NewReplayer(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cells() != 2 {
+		t.Fatalf("cells %d", r.Cells())
+	}
+	want := [][]int{{1, 2}, {3, 4}, {1, 2}, {3, 4}}
+	for i, w := range want {
+		got := r.NextSlot()
+		if got[0] != w[0] || got[1] != w[1] {
+			t.Fatalf("slot %d = %v want %v", i, got, w)
+		}
+	}
+}
+
+func TestReplayerScales(t *testing.T) {
+	tr := &Trace{Cells: 1, Volumes: [][]int{{100}}}
+	r, _ := NewReplayer(tr, 10)
+	if got := r.NextSlot()[0]; got != 1000 {
+		t.Fatalf("scaled volume %d want 1000", got)
+	}
+}
+
+func TestReplayerEmpty(t *testing.T) {
+	if _, err := NewReplayer(&Trace{}, 1); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := NewReplayer(nil, 1); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := GenerateTrace(LTEReference(3, 5), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cells != orig.Cells || len(got.Volumes) != len(orig.Volumes) {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			got.Cells, len(got.Volumes), orig.Cells, len(orig.Volumes))
+	}
+	for tti := range orig.Volumes {
+		for c := range orig.Volumes[tti] {
+			if got.Volumes[tti][c] != orig.Volumes[tti][c] {
+				t.Fatalf("volume changed at tti %d cell %d", tti, c)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"nope,cell0\n1,2\n",
+		"tti,cell0\nx,2\n",
+		"tti,cell0\n0,-5\n",
+		"tti,cell0,cell1\n0,1\n",
+		"tti,cell0\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: malformed CSV accepted", i)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package workloads models the best-effort applications the paper collocates
+// with the vRAN pool: Redis (content caching), Nginx (HTTP serving), a
+// TPCC/MySQL OLTP workload, MLPerf ResNet50 training, and the "Mix" that
+// toggles them at random 10–70 s intervals.
+//
+// A collocated workload matters to the reproduction in exactly two ways:
+//
+//  1. It converts granted best-effort core-time into throughput — with an
+//     efficiency below 1 because the grants are preempted, arrive on cold
+//     caches, and share the LLC with the RAN (the reason Fig 8b–d land at
+//     72–82 % of the no-vRAN ideal rather than at the reclaim percentage).
+//  2. It exerts cache pressure on the RAN (the interference index consumed
+//     by the cost and platform models).
+package workloads
+
+import (
+	"math"
+
+	"concordia/internal/rng"
+	"concordia/internal/sim"
+)
+
+// Kind identifies a workload model.
+type Kind int
+
+// The collocated workloads evaluated in §6.
+const (
+	None Kind = iota
+	Redis
+	Nginx
+	TPCC
+	MLPerf
+	Mix
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "isolated"
+	case Redis:
+		return "redis"
+	case Nginx:
+		return "nginx"
+	case TPCC:
+		return "tpcc"
+	case MLPerf:
+		return "mlperf"
+	case Mix:
+		return "mix"
+	default:
+		return "unknown"
+	}
+}
+
+// Profile is the static description of one workload.
+type Profile struct {
+	Kind Kind
+	// CacheIntensity is the interference index the workload exerts on the
+	// RAN while it runs (0..1). Redis/TPCC hammer the memory hierarchy;
+	// MLPerf is compute-bound with a streaming working set.
+	CacheIntensity float64
+	// IdealRatePerCore is the saturated throughput per dedicated core per
+	// second (the no-vRAN reference of Fig 8b–d), in workload-native ops.
+	IdealRatePerCore float64
+	// Sensitivity converts preemption disruption into throughput loss:
+	// transactional workloads (TPCC) suffer most from losing cores
+	// mid-transaction; stateless serving (Nginx) least.
+	Sensitivity float64
+	// Unit names the throughput unit for reports.
+	Unit string
+}
+
+// Profiles for the paper's workloads. Throughput magnitudes follow Fig 8:
+// millions of Redis GET/s, tens of thousands of HTTP req/s, thousands of
+// TPCC transactions/s.
+var profiles = map[Kind]Profile{
+	Redis:  {Kind: Redis, CacheIntensity: 0.95, IdealRatePerCore: 700_000, Sensitivity: 0.234, Unit: "ops/s"},
+	Nginx:  {Kind: Nginx, CacheIntensity: 0.75, IdealRatePerCore: 5_000, Sensitivity: 0.178, Unit: "req/s"},
+	TPCC:   {Kind: TPCC, CacheIntensity: 0.90, IdealRatePerCore: 250, Sensitivity: 0.280, Unit: "tx/s"},
+	MLPerf: {Kind: MLPerf, CacheIntensity: 0.60, IdealRatePerCore: 110, Sensitivity: 0.220, Unit: "samples/s"},
+}
+
+// ProfileOf returns the profile of a concrete workload kind. Mix and None
+// have no single profile; ok is false for them.
+func ProfileOf(k Kind) (Profile, bool) {
+	p, ok := profiles[k]
+	return p, ok
+}
+
+// Disruption quantifies how broken-up the best-effort grants are: the rate
+// of preemption events per granted core-second, normalized against the
+// regime where grants become useless. The vRAN reclaiming cores in 20 µs
+// slices would disrupt totally; hundreds-of-ms grants barely at all.
+func Disruption(preemptionsPerCoreSecond float64) float64 {
+	const saturation = 120 // preemptions per core-second that erase ~all value
+	d := preemptionsPerCoreSecond / saturation
+	return 1 - math.Exp(-d)
+}
+
+// Throughput converts granted core-seconds into workload ops given the
+// disruption index (0..1).
+func (p Profile) Throughput(coreSeconds, disruption float64) float64 {
+	if coreSeconds <= 0 {
+		return 0
+	}
+	eff := 1 - p.Sensitivity - (0.35-p.Sensitivity/2)*disruption
+	if eff < 0.05 {
+		eff = 0.05
+	}
+	return p.IdealRatePerCore * coreSeconds * eff
+}
+
+// Ideal returns the no-vRAN reference throughput for dedicated cores.
+func (p Profile) Ideal(cores int, seconds float64) float64 {
+	return p.IdealRatePerCore * float64(cores) * seconds
+}
+
+// Schedule exposes the time-varying active set of a collocation scenario.
+type Schedule struct {
+	kind     Kind
+	segments []segment // for Mix: precomputed on/off timeline per workload
+}
+
+type segment struct {
+	until  sim.Time
+	active []Kind
+}
+
+// MixMembers is the workload set the Mix scenario toggles.
+var MixMembers = []Kind{Redis, Nginx, TPCC, MLPerf}
+
+// NewSchedule builds the collocation schedule for a scenario lasting up to
+// horizon. For concrete kinds the workload is always on; for Mix, members
+// switch on and off at random 10–70 s intervals (§6's mixed workload).
+func NewSchedule(k Kind, horizon sim.Time, seed uint64) *Schedule {
+	s := &Schedule{kind: k}
+	if k != Mix {
+		return s
+	}
+	r := rng.New(seed)
+	// Per-member on/off timelines; merge into segments at 1 s granularity.
+	type state struct {
+		on       bool
+		flipNext sim.Time
+	}
+	states := make([]state, len(MixMembers))
+	anyOn := false
+	for i := range states {
+		states[i].on = r.Bool(0.5)
+		anyOn = anyOn || states[i].on
+		states[i].flipNext = sim.Time(r.Uniform(10, 70) * float64(sim.Second))
+	}
+	if !anyOn {
+		// The mixed scenario always starts with something running.
+		states[r.Intn(len(states))].on = true
+	}
+	const step = sim.Second
+	for t := sim.Time(0); t <= horizon; t += step {
+		var active []Kind
+		for i := range states {
+			if t >= states[i].flipNext {
+				states[i].on = !states[i].on
+				states[i].flipNext = t + sim.Time(r.Uniform(10, 70)*float64(sim.Second))
+			}
+			if states[i].on {
+				active = append(active, MixMembers[i])
+			}
+		}
+		s.segments = append(s.segments, segment{until: t + step, active: active})
+	}
+	return s
+}
+
+// ActiveAt returns the workloads running at time t.
+func (s *Schedule) ActiveAt(t sim.Time) []Kind {
+	switch s.kind {
+	case None:
+		return nil
+	case Mix:
+		// Binary search over segments.
+		lo, hi := 0, len(s.segments)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if s.segments[mid].until <= t {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(s.segments) {
+			return s.segments[lo].active
+		}
+		return nil
+	default:
+		return []Kind{s.kind}
+	}
+}
+
+// InterferenceAt returns the combined cache-pressure index at time t:
+// the strongest active workload plus diminishing contributions from the
+// rest, clamped to 1.
+func (s *Schedule) InterferenceAt(t sim.Time) float64 {
+	active := s.ActiveAt(t)
+	if len(active) == 0 {
+		return 0
+	}
+	var best, rest float64
+	for _, k := range active {
+		p := profiles[k]
+		if p.CacheIntensity > best {
+			rest += best
+			best = p.CacheIntensity
+		} else {
+			rest += p.CacheIntensity
+		}
+	}
+	v := best + 0.15*rest
+	if v > 1 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,173 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"concordia/internal/sim"
+)
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{None: "isolated", Redis: "redis", Nginx: "nginx",
+		TPCC: "tpcc", MLPerf: "mlperf", Mix: "mix", Kind(99): "unknown"}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestProfileOf(t *testing.T) {
+	for _, k := range MixMembers {
+		p, ok := ProfileOf(k)
+		if !ok {
+			t.Fatalf("no profile for %v", k)
+		}
+		if p.IdealRatePerCore <= 0 || p.CacheIntensity <= 0 || p.CacheIntensity > 1 {
+			t.Fatalf("degenerate profile %+v", p)
+		}
+	}
+	if _, ok := ProfileOf(Mix); ok {
+		t.Fatal("Mix should not have a single profile")
+	}
+	if _, ok := ProfileOf(None); ok {
+		t.Fatal("None should not have a profile")
+	}
+}
+
+// Fig 8 calibration: at low disruption, achieved/ideal efficiency per
+// workload matches the paper's reported percentages.
+func TestEfficiencyMatchesFig8(t *testing.T) {
+	want := map[Kind]float64{Redis: 0.766, Nginx: 0.822, TPCC: 0.72, MLPerf: 0.78}
+	for k, eff := range want {
+		p, _ := ProfileOf(k)
+		got := p.Throughput(1, 0) / p.Ideal(1, 1)
+		if math.Abs(got-eff) > 0.02 {
+			t.Errorf("%v efficiency %.3f want %.3f", k, got, eff)
+		}
+	}
+}
+
+func TestThroughputScalesWithCoreSeconds(t *testing.T) {
+	p, _ := ProfileOf(Redis)
+	if p.Throughput(2, 0.1) != 2*p.Throughput(1, 0.1) {
+		t.Fatal("throughput not linear in core-seconds")
+	}
+	if p.Throughput(0, 0.1) != 0 || p.Throughput(-1, 0) != 0 {
+		t.Fatal("non-positive core-seconds must yield zero")
+	}
+}
+
+func TestDisruptionReducesThroughput(t *testing.T) {
+	for _, k := range MixMembers {
+		p, _ := ProfileOf(k)
+		smooth := p.Throughput(1, 0)
+		chopped := p.Throughput(1, 0.8)
+		if chopped >= smooth {
+			t.Errorf("%v: disruption did not reduce throughput", k)
+		}
+		if chopped <= 0 {
+			t.Errorf("%v: throughput floor violated", k)
+		}
+	}
+}
+
+func TestDisruptionIndex(t *testing.T) {
+	if Disruption(0) != 0 {
+		t.Fatal("zero preemptions must mean zero disruption")
+	}
+	prev := -1.0
+	for rate := 0.0; rate <= 500; rate += 25 {
+		d := Disruption(rate)
+		if d < 0 || d > 1 {
+			t.Fatalf("disruption %v out of [0,1]", d)
+		}
+		if d < prev {
+			t.Fatal("disruption not monotone")
+		}
+		prev = d
+	}
+	if Disruption(1000) < 0.99 {
+		t.Fatal("extreme preemption rates must saturate")
+	}
+}
+
+func TestScheduleConstantKinds(t *testing.T) {
+	s := NewSchedule(Redis, 10*sim.Second, 1)
+	for _, at := range []sim.Time{0, sim.Second, 9 * sim.Second} {
+		a := s.ActiveAt(at)
+		if len(a) != 1 || a[0] != Redis {
+			t.Fatalf("redis schedule at %v = %v", at, a)
+		}
+	}
+	if s.InterferenceAt(0) <= 0 {
+		t.Fatal("active redis must interfere")
+	}
+	n := NewSchedule(None, 10*sim.Second, 1)
+	if len(n.ActiveAt(sim.Second)) != 0 || n.InterferenceAt(sim.Second) != 0 {
+		t.Fatal("isolated schedule must be empty")
+	}
+}
+
+func TestMixToggles(t *testing.T) {
+	horizon := 300 * sim.Second
+	s := NewSchedule(Mix, horizon, 7)
+	// Sample the active-set size over time; it must change (workloads turn
+	// on and off) and every member must appear at some point.
+	seen := map[Kind]bool{}
+	sizes := map[int]bool{}
+	for at := sim.Time(0); at < horizon; at += 500 * sim.Millisecond {
+		active := s.ActiveAt(at)
+		sizes[len(active)] = true
+		for _, k := range active {
+			seen[k] = true
+		}
+	}
+	if len(sizes) < 2 {
+		t.Fatal("mix schedule never changed its active set size")
+	}
+	for _, k := range MixMembers {
+		if !seen[k] {
+			t.Errorf("mix never activated %v", k)
+		}
+	}
+}
+
+func TestMixDeterminism(t *testing.T) {
+	a := NewSchedule(Mix, 100*sim.Second, 42)
+	b := NewSchedule(Mix, 100*sim.Second, 42)
+	for at := sim.Time(0); at < 100*sim.Second; at += sim.Second {
+		x, y := a.ActiveAt(at), b.ActiveAt(at)
+		if len(x) != len(y) {
+			t.Fatalf("mix schedules diverge at %v", at)
+		}
+	}
+}
+
+func TestInterferenceCombination(t *testing.T) {
+	s := NewSchedule(Mix, 600*sim.Second, 3)
+	for at := sim.Time(0); at < 600*sim.Second; at += sim.Second {
+		v := s.InterferenceAt(at)
+		if v < 0 || v > 1 {
+			t.Fatalf("interference %v out of range at %v", v, at)
+		}
+		if len(s.ActiveAt(at)) == 0 && v != 0 {
+			t.Fatalf("interference %v with empty active set", v)
+		}
+	}
+}
+
+func TestInterferenceDominatedByStrongest(t *testing.T) {
+	redis := NewSchedule(Redis, sim.Second, 1).InterferenceAt(0)
+	mlperf := NewSchedule(MLPerf, sim.Second, 1).InterferenceAt(0)
+	if redis <= mlperf {
+		t.Fatal("redis must interfere more than mlperf")
+	}
+}
+
+func BenchmarkInterferenceAt(b *testing.B) {
+	s := NewSchedule(Mix, 600*sim.Second, 1)
+	for i := 0; i < b.N; i++ {
+		_ = s.InterferenceAt(sim.Time(i%600) * sim.Second)
+	}
+}

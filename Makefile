@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+# Full test suite. The experiment harness re-runs every figure at reduced
+# scale and the root package sweeps every experiment twice for worker
+# determinism, so expect ~10 minutes on one core.
+test:
+	$(GO) test -timeout 20m ./...
+
+# check is the pre-merge gate: vet, the full suite, and the race detector
+# over every parallel code path. A blanket `go test -race ./...` would blow
+# the per-package timeout on small machines (the race detector slows the
+# experiment harness severalfold), so race coverage is split: all packages
+# in -short mode, then full runs of the packages that own concurrency
+# (worker pool, RNG substreams, parallel PHY decode), then a targeted slice
+# of the worker-determinism sweep at the module root.
+check: build
+	$(GO) vet ./...
+	$(GO) test -timeout 20m ./...
+	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/parallel ./internal/rng ./internal/phy ./internal/costmodel
+	$(GO) test -race -run 'TestExperimentsWorkerDeterminism/(fig6|fig7|fig12|fig15b)' -timeout 30m .
+
+# One regeneration pass per paper table/figure, with timing.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...

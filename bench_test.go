@@ -11,7 +11,9 @@ package concordia_test
 // and the headline numbers.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"concordia/internal/experiments"
@@ -249,6 +251,23 @@ func BenchmarkRunAllQuick(b *testing.B) {
 		if err := experiments.RunAll(benchOpts(), io.Discard); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunAllParallel contrasts the serial and fanned-out full
+// regeneration: both produce identical bytes, the second spreads experiments
+// and their internal sweeps across every core.
+func BenchmarkRunAllParallel(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := benchOpts()
+			o.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if err := experiments.RunAll(o, io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -32,6 +32,7 @@ func main() {
 	tracePath := flag.String("trace", "", "CSV trace (tracegen format) to replay for both directions")
 	traceScale := flag.Float64("trace-scale", 1, "volume multiplier for replayed traces")
 	minCores := flag.Bool("min-cores", false, "search for the minimum core count first")
+	workers := flag.Int("workers", 0, "worker goroutines for parallel setup work (0 = NumCPU, 1 = serial; results are identical)")
 	flag.Parse()
 
 	var cfg concordia.Config
@@ -50,6 +51,7 @@ func main() {
 	cfg.Load = *load
 	cfg.Seed = *seed
 	cfg.UseAccel = *useAccel
+	cfg.Workers = *workers
 	wl, ok := map[string]concordia.WorkloadKind{
 		"isolated": concordia.Isolated, "redis": concordia.Redis,
 		"nginx": concordia.Nginx, "tpcc": concordia.TPCC,

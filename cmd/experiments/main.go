@@ -22,6 +22,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	scale := flag.Float64("scale", 0.25, "duration scale (1.0 = full experiment quality)")
 	training := flag.Int("training", 0, "offline profiling TTIs (0 = default)")
+	workers := flag.Int("workers", 0, "worker goroutines for experiment fan-out (0 = NumCPU, 1 = serial; output is identical)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	csvDir := flag.String("csv", "", "also write raw data series as <dir>/<name>.csv where supported")
 	flag.Parse()
@@ -32,8 +33,18 @@ func main() {
 		}
 		return
 	}
-	o := experiments.Options{Seed: *seed, Scale: *scale, TrainingSlots: *training}
+	o := experiments.Options{Seed: *seed, Scale: *scale, TrainingSlots: *training, Workers: *workers}
 	names := flag.Args()
+	if len(names) == 0 && *csvDir == "" {
+		// Full regeneration goes through RunAll so experiments fan out
+		// across workers; the rendered output is identical to running each
+		// name in order.
+		if err := experiments.RunAll(o, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if len(names) == 0 {
 		names = experiments.Names
 	}

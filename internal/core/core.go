@@ -9,9 +9,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"concordia/internal/accel"
 	"concordia/internal/costmodel"
+	"concordia/internal/parallel"
 	"concordia/internal/platform"
 	"concordia/internal/pool"
 	"concordia/internal/predictor"
@@ -65,6 +67,11 @@ type Config struct {
 	// TrainingSlots is the number of offline profiling TTIs used to build
 	// the quantile trees (0 selects the default).
 	TrainingSlots int
+	// Workers bounds the worker goroutines used for parallelizable setup
+	// work (per-task-kind predictor training): 0 = runtime.NumCPU(), 1 =
+	// fully serial. The trained system is bit-for-bit identical for every
+	// setting — each task kind trains from its own sample set.
+	Workers int
 	// PredictorMargin scales tree predictions (1.0 = Algorithm 2 exactly).
 	PredictorMargin float64
 	// Predictor overrides the trained quantile trees when non-nil
@@ -210,22 +217,44 @@ func Profile(cells []ran.CellConfig, slots int, model *costmodel.Model, poolCore
 
 // TrainPredictors runs Algorithm 1 for every profiled task kind: feature
 // selection (distance correlation + backwards elimination + hand-picked)
-// followed by quantile-tree training.
+// followed by quantile-tree training, with kinds trained on the default
+// worker count. Equivalent to TrainPredictorsWorkers(data, margin, 0).
 func TrainPredictors(data map[ran.TaskKind][]predictor.Sample, margin float64) (pool.PredictorSet, error) {
+	return TrainPredictorsWorkers(data, margin, 0)
+}
+
+// TrainPredictorsWorkers trains the per-kind quantile trees on at most
+// workers goroutines. Each kind's tree depends only on that kind's samples,
+// so the resulting predictor set is identical for every worker count; kinds
+// are processed in sorted order so error reporting is deterministic too.
+func TrainPredictorsWorkers(data map[ran.TaskKind][]predictor.Sample, margin float64, workers int) (pool.PredictorSet, error) {
 	if len(data) == 0 {
 		return nil, errors.New("core: empty training data")
 	}
-	set := pool.PredictorSet{}
+	kinds := make([]ran.TaskKind, 0, len(data))
 	for kind, samples := range data {
 		if len(samples) < 200 {
 			continue // too little data; the pool's fallback margin covers it
 		}
+		kinds = append(kinds, kind)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	trees, err := parallel.Map(workers, len(kinds), func(i int) (*predictor.QuantileTree, error) {
+		kind := kinds[i]
+		samples := data[kind]
 		feats := predictor.SelectFeatures(kind, samples, 6, 3)
 		tree, err := predictor.TrainQuantileTree(kind, feats, samples, predictor.TreeConfig{Margin: margin})
 		if err != nil {
 			return nil, fmt.Errorf("core: training %v: %w", kind, err)
 		}
-		set[kind] = tree
+		return tree, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	set := pool.PredictorSet{}
+	for i, kind := range kinds {
+		set[kind] = trees[i]
 	}
 	return set, nil
 }
@@ -244,7 +273,7 @@ func NewSystem(cfg Config) (*System, error) {
 		preds = cfg.Predictor
 	} else {
 		data := Profile(cfg.Cells, cfg.TrainingSlots, model, cfg.PoolCores, cfg.Seed^0x0ff1)
-		set, err = TrainPredictors(data, cfg.PredictorMargin)
+		set, err = TrainPredictorsWorkers(data, cfg.PredictorMargin, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

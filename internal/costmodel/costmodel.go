@@ -177,16 +177,28 @@ const (
 	spikeMaxInter  = 4.0
 )
 
-// Sample draws one stochastic runtime for a task under env.
+// Sample draws one stochastic runtime for a task under env using the
+// model's own noise stream. Like that stream, it is not safe for concurrent
+// use; parallel sample sweeps use SampleWith with per-shard substreams.
 func (m *Model) Sample(kind ran.TaskKind, f ran.FeatureVector, env Env) sim.Time {
+	return m.SampleWith(m.rand, kind, f, env)
+}
+
+// SampleWith draws one stochastic runtime with noise taken from the
+// caller-provided stream r instead of the model's own. The model's
+// calibration (Scale and the coefficient tables) is read-only here, so any
+// number of goroutines may call SampleWith on one Model concurrently as
+// long as each holds its own stream — the contract parallel experiment
+// shards rely on (see rng.Substream).
+func (m *Model) SampleWith(r *rng.Rand, kind ran.TaskKind, f ran.FeatureVector, env Env) sim.Time {
 	mean := float64(m.Mean(kind, f, env))
 	sigma := bodySigma(kind)
 	// Lognormal body normalized to unit mean.
-	mult := m.rand.LogNormal(-sigma*sigma/2, sigma)
+	mult := r.LogNormal(-sigma*sigma/2, sigma)
 	p := spikeBaseProb + spikeInterProb*env.Interference
-	if m.rand.Bool(p) {
+	if r.Bool(p) {
 		max := spikeMaxIso + (spikeMaxInter-spikeMaxIso)*env.Interference
-		mult *= m.rand.BoundedPareto(1.15, spikeAlpha, max)
+		mult *= r.BoundedPareto(1.15, spikeAlpha, max)
 	}
 	t := sim.Time(mean * mult)
 	if t < sim.Time(100) { // floor: 100 ns

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"concordia/internal/core"
+	"concordia/internal/parallel"
 	"concordia/internal/sim"
 )
 
@@ -29,6 +30,14 @@ type Options struct {
 	Scale float64
 	// TrainingSlots overrides offline profiling length (0 = default).
 	TrainingSlots int
+	// Workers bounds the worker goroutines used by RunAll's experiment
+	// fan-out and by each experiment's internal sweeps: 0 = runtime.NumCPU(),
+	// 1 = fully serial. Every experiment partitions its iteration space into
+	// a fixed number of shards with their own RNG substreams, so rendered
+	// output is byte-for-byte identical for every setting (experiments that
+	// report host wall-clock time — fig15a, calibration — differ only in
+	// those timings).
+	Workers int
 }
 
 // DefaultOptions returns full-quality settings.
@@ -55,6 +64,15 @@ func (o Options) training() int {
 	}
 	return core.DefaultTrainingSlots
 }
+
+// workers resolves the worker-count knob (0 → NumCPU).
+func (o Options) workers() int { return parallel.Count(o.Workers) }
+
+// sampleShards is the fixed shard count for Monte-Carlo sample sweeps. It is
+// deliberately independent of the worker count: shard boundaries and the RNG
+// substream assigned to each shard depend only on the iteration-space size,
+// so the drawn samples are identical no matter how many workers run them.
+const sampleShards = 16
 
 // header renders a section banner.
 func header(sb *strings.Builder, title string) {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"concordia/internal/costmodel"
+	"concordia/internal/parallel"
 	"concordia/internal/predictor"
 	"concordia/internal/ran"
 	"concordia/internal/rng"
@@ -37,25 +38,39 @@ func RunFig6LDPCScaling(o Options) (*Fig6Result, error) {
 		StallsPerCycle: map[int][]float64{},
 	}
 	model := costmodel.New(o.Seed)
-	r := rng.New(o.Seed + 1)
 	perCell := ops / len(res.Codeblocks) / 3
-	for _, cores := range []int{1, 4, 6} {
-		env := costmodel.Env{PoolCores: cores}
-		for _, cbs := range res.Codeblocks {
-			samples := make([]float64, perCell)
-			for i := range samples {
-				var f ran.FeatureVector
-				f.Set(ran.FCodeblocks, float64(cbs))
-				f.Set(ran.FSNRdB, r.Uniform(10, 28))
-				f.Set(ran.FTBSBits, float64(cbs*8448))
-				samples[i] = model.Sample(ran.TaskLDPCDecode, f, env).Us()
-			}
-			res.MeanUs[cores] = append(res.MeanUs[cores], stats.Mean(samples))
-			res.P99Us[cores] = append(res.P99Us[cores], stats.Quantile(samples, 0.99))
-			// Fig 6b proxy: stall share grows with both spreading and size.
-			stall := (costmodel.StallPenalty(cores) - 1) * (0.5 + 0.5*float64(cbs)/15)
-			res.StallsPerCycle[cores] = append(res.StallsPerCycle[cores], stall)
+	coreSet := []int{1, 4, 6}
+	// One (cores, cbs) cell per sample slice; each cell's iteration space is
+	// cut into fixed shards carrying their own RNG substreams, so the sweep
+	// fans out across workers without changing a single drawn sample.
+	cells := len(coreSet) * len(res.Codeblocks)
+	samples := make([][]float64, cells)
+	for i := range samples {
+		samples[i] = make([]float64, perCell)
+	}
+	shards := parallel.Shards(perCell, sampleShards)
+	parallel.ForEach(o.workers(), cells*len(shards), func(j int) error {
+		ci, sh := j/len(shards), shards[j%len(shards)]
+		env := costmodel.Env{PoolCores: coreSet[ci/len(res.Codeblocks)]}
+		cbs := res.Codeblocks[ci%len(res.Codeblocks)]
+		r := rng.Substream(o.Seed+1, uint64(ci*len(shards)+sh.Index))
+		for i := sh.Lo; i < sh.Hi; i++ {
+			var f ran.FeatureVector
+			f.Set(ran.FCodeblocks, float64(cbs))
+			f.Set(ran.FSNRdB, r.Uniform(10, 28))
+			f.Set(ran.FTBSBits, float64(cbs*8448))
+			samples[ci][i] = model.SampleWith(r, ran.TaskLDPCDecode, f, env).Us()
 		}
+		return nil
+	})
+	for ci := 0; ci < cells; ci++ {
+		cores := coreSet[ci/len(res.Codeblocks)]
+		cbs := res.Codeblocks[ci%len(res.Codeblocks)]
+		res.MeanUs[cores] = append(res.MeanUs[cores], stats.Mean(samples[ci]))
+		res.P99Us[cores] = append(res.P99Us[cores], stats.Quantile(samples[ci], 0.99))
+		// Fig 6b proxy: stall share grows with both spreading and size.
+		stall := (costmodel.StallPenalty(cores) - 1) * (0.5 + 0.5*float64(cbs)/15)
+		res.StallsPerCycle[cores] = append(res.StallsPerCycle[cores], stall)
 	}
 	return res, nil
 }
@@ -114,17 +129,24 @@ func RunFig7Leaves(o Options) (*Fig7Result, error) {
 	model := costmodel.New(o.Seed)
 	iso := costmodel.Env{PoolCores: 4}
 	tpcc := costmodel.Env{PoolCores: 4, Interference: 0.9}
+	// Sharded sample generator: shard boundaries and substreams depend only
+	// on count and seed, so the data set is identical for any worker count.
 	gen := func(count int, seed uint64, env costmodel.Env) []predictor.Sample {
-		r := rng.New(seed)
 		out := make([]predictor.Sample, count)
-		for i := range out {
-			var f ran.FeatureVector
-			cbs := 1 + r.Intn(15)
-			f.Set(ran.FCodeblocks, float64(cbs))
-			f.Set(ran.FSNRdB, r.Uniform(0, 32))
-			f.Set(ran.FTBSBits, float64(cbs*8448))
-			out[i] = predictor.Sample{Features: f, Runtime: model.Sample(ran.TaskLDPCDecode, f, env)}
-		}
+		shards := parallel.Shards(count, sampleShards)
+		parallel.ForEach(o.workers(), len(shards), func(si int) error {
+			sh := shards[si]
+			r := rng.Substream(seed, uint64(sh.Index))
+			for i := sh.Lo; i < sh.Hi; i++ {
+				var f ran.FeatureVector
+				cbs := 1 + r.Intn(15)
+				f.Set(ran.FCodeblocks, float64(cbs))
+				f.Set(ran.FSNRdB, r.Uniform(0, 32))
+				f.Set(ran.FTBSBits, float64(cbs*8448))
+				out[i] = predictor.Sample{Features: f, Runtime: model.SampleWith(r, ran.TaskLDPCDecode, f, env)}
+			}
+			return nil
+		})
 		return out
 	}
 	train := gen(n, o.Seed+1, iso)

@@ -6,6 +6,7 @@ import (
 
 	"concordia/internal/core"
 	"concordia/internal/costmodel"
+	"concordia/internal/parallel"
 	"concordia/internal/predictor"
 	"concordia/internal/ran"
 	"concordia/internal/rng"
@@ -54,7 +55,9 @@ func fig14Scenarios() []fig14Scenario {
 }
 
 // genKindSamples draws profiling samples for one kind from realistic slot
-// allocations.
+// allocations. Features and runtime noise both come from the seed's own
+// stream (model.SampleWith), so concurrent calls sharing one read-only model
+// produce identical data sets regardless of interleaving.
 func genKindSamples(kind ran.TaskKind, n int, cells int, env costmodel.Env, model *costmodel.Model, seed uint64) []predictor.Sample {
 	r := rng.New(seed)
 	cfgs := ran.Cells20MHz(cells)
@@ -78,7 +81,7 @@ func genKindSamples(kind ran.TaskKind, n int, cells int, env costmodel.Env, mode
 			}
 			out = append(out, predictor.Sample{
 				Features: t.Features,
-				Runtime:  model.Sample(kind, t.Features, env),
+				Runtime:  model.SampleWith(r, kind, t.Features, env),
 			})
 			if len(out) == n {
 				break
@@ -131,7 +134,11 @@ func RunFig14Models(o Options, kind ran.TaskKind) (*Fig14Result, error) {
 	if len(feats) == 0 {
 		feats = []ran.Feature{ran.FTBSBits}
 	}
-	for i, sc := range fig14Scenarios() {
+	scenarios := fig14Scenarios()
+	// Each scenario trains/evaluates the three models independently; the
+	// shared cost model is read-only under SampleWith, so scenarios fan out.
+	rowGroups, err := parallel.Map(o.workers(), len(scenarios), func(i int) ([]ModelAccuracy, error) {
+		sc := scenarios[i]
 		// Offline training always happens in isolation (the paper's offline
 		// phase); evaluation runs in the scenario's environment with online
 		// adaptation enabled.
@@ -151,6 +158,7 @@ func RunFig14Models(o Options, kind ran.TaskKind) (*Fig14Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		var rows []ModelAccuracy
 		for _, m := range []struct {
 			name string
 			p    predictor.Predictor
@@ -158,29 +166,41 @@ func RunFig14Models(o Options, kind ran.TaskKind) (*Fig14Result, error) {
 			acc := evalModel(m.p, eval)
 			acc.Model = m.name
 			acc.Scenario = sc.name
-			res.Rows = append(res.Rows, acc)
+			rows = append(rows, acc)
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowGroups {
+		res.Rows = append(res.Rows, rows...)
 	}
 	// Full-DAG reliability: the complete system with 20 µs compensation.
 	dur := o.dur(60 * sim.Second)
-	for _, wl := range []workloads.Kind{workloads.None, workloads.Redis, workloads.TPCC} {
-		for _, cells := range []int{1, 2} {
-			cfg := core.Scenario20MHz(cells, 4)
-			cfg.Load = 0.5
-			cfg.Workload = wl
-			cfg.Seed = o.Seed
-			cfg.TrainingSlots = o.training()
-			sys, err := core.NewSystem(cfg)
-			if err != nil {
-				return nil, err
-			}
-			rep := sys.Run(dur)
-			res.FullDAG = append(res.FullDAG, ModelAccuracy{
-				Model:     "full-dag-qdt",
-				Scenario:  fmt.Sprintf("%d cell(s) - %s", cells, wl),
-				MissedPct: 100 * (1 - rep.Reliability()),
-			})
+	wls := []workloads.Kind{workloads.None, workloads.Redis, workloads.TPCC}
+	cellSet := []int{1, 2}
+	res.FullDAG, err = parallel.Map(o.workers(), len(wls)*len(cellSet), func(j int) (ModelAccuracy, error) {
+		wl := wls[j/len(cellSet)]
+		cells := cellSet[j%len(cellSet)]
+		cfg := core.Scenario20MHz(cells, 4)
+		cfg.Load = 0.5
+		cfg.Workload = wl
+		cfg.Seed = o.Seed
+		cfg.TrainingSlots = o.training()
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return ModelAccuracy{}, err
 		}
+		rep := sys.Run(dur)
+		return ModelAccuracy{
+			Model:     "full-dag-qdt",
+			Scenario:  fmt.Sprintf("%d cell(s) - %s", cells, wl),
+			MissedPct: 100 * (1 - rep.Reliability()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -235,7 +255,9 @@ func runFig14ModelsOnly(o Options, kind ran.TaskKind) (*Fig14Result, error) {
 		n = 3000
 	}
 	feats := predictor.HandPicked[kind]
-	for i, sc := range fig14Scenarios() {
+	scenarios := fig14Scenarios()
+	rowGroups, err := parallel.Map(o.workers(), len(scenarios), func(i int) ([]ModelAccuracy, error) {
+		sc := scenarios[i]
 		isoEnv := costmodel.Env{PoolCores: sc.env.PoolCores}
 		train := genKindSamples(kind, n, sc.cells, isoEnv, model, o.Seed+uint64(i)*31+5)
 		eval := genKindSamples(kind, n/2, sc.cells, sc.env, model, o.Seed+uint64(i)*31+6)
@@ -251,6 +273,7 @@ func runFig14ModelsOnly(o Options, kind ran.TaskKind) (*Fig14Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		var rows []ModelAccuracy
 		for _, m := range []struct {
 			name string
 			p    predictor.Predictor
@@ -258,8 +281,15 @@ func runFig14ModelsOnly(o Options, kind ran.TaskKind) (*Fig14Result, error) {
 			acc := evalModel(m.p, eval)
 			acc.Model = m.name
 			acc.Scenario = sc.name
-			res.Rows = append(res.Rows, acc)
+			rows = append(rows, acc)
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowGroups {
+		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"concordia/internal/core"
+	"concordia/internal/parallel"
 	"concordia/internal/sim"
 	"concordia/internal/workloads"
 )
@@ -65,28 +66,32 @@ type Fig4aResult struct{ Rows []Fig4aRow }
 // (isolated FlexRAN-style operation) and measures average utilization —
 // the >50% idle-capacity motivation.
 func RunFig4Utilization(o Options) (*Fig4aResult, error) {
-	res := &Fig4aResult{}
 	probe := minProbe(o.dur(20 * sim.Second))
-	for _, sc := range fig4Scenarios(o) {
+	scenarios := fig4Scenarios(o)
+	rows, err := parallel.Map(o.workers(), len(scenarios), func(i int) (Fig4aRow, error) {
+		sc := scenarios[i]
 		cfg := sc.Cfg
 		cores, err := core.MinimumCores(cfg, 16, 0.99999, probe)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+			return Fig4aRow{}, fmt.Errorf("%s: %w", sc.Name, err)
 		}
 		cfg.PoolCores = cores
 		sys, err := core.NewSystem(cfg)
 		if err != nil {
-			return nil, err
+			return Fig4aRow{}, err
 		}
 		rep := sys.Run(probe)
-		res.Rows = append(res.Rows, Fig4aRow{
+		return Fig4aRow{
 			Name:     sc.Name,
 			MinCores: cores,
 			AvgUtil:  rep.RANUtilization(),
 			Paper:    sc.Paper,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig4aResult{Rows: rows}, nil
 }
 
 // String implements fmt.Stringer.
@@ -116,13 +121,17 @@ type Fig4bResult struct{ Rows []Fig4bRow }
 // RunFig4Violations measures the 99.99% slot processing latency of the
 // vanilla (FlexRAN-scheduled) vRAN when sharing cores with Nginx and Redis.
 func RunFig4Violations(o Options) (*Fig4bResult, error) {
-	res := &Fig4bResult{}
 	dur := o.dur(60 * sim.Second)
-	for _, sc := range fig4Scenarios(o) {
+	scenarios := fig4Scenarios(o)
+	// One job per scenario: the MinimumCores probe is shared by that
+	// scenario's three workload runs, so it stays inside the job.
+	rowGroups, err := parallel.Map(o.workers(), len(scenarios), func(i int) ([]Fig4bRow, error) {
+		sc := scenarios[i]
 		cores, err := core.MinimumCores(sc.Cfg, 16, 0.99999, minProbe(o.dur(10*sim.Second)))
 		if err != nil {
 			return nil, err
 		}
+		var rows []Fig4bRow
 		for _, wl := range []workloads.Kind{workloads.None, workloads.Nginx, workloads.Redis} {
 			cfg := sc.Cfg
 			cfg.PoolCores = cores
@@ -133,7 +142,7 @@ func RunFig4Violations(o Options) (*Fig4bResult, error) {
 				return nil, err
 			}
 			rep := sys.Run(dur)
-			res.Rows = append(res.Rows, Fig4bRow{
+			rows = append(rows, Fig4bRow{
 				Scenario:   sc.Name,
 				Workload:   wl,
 				P9999Us:    rep.TailLatencyUs(0.9999),
@@ -141,6 +150,14 @@ func RunFig4Violations(o Options) (*Fig4bResult, error) {
 				Violated:   rep.TailLatencyUs(0.9999) > cfg.Deadline.Us(),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4bResult{}
+	for _, rows := range rowGroups {
+		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
 }

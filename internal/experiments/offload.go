@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"concordia/internal/core"
+	"concordia/internal/parallel"
 	"concordia/internal/ran"
 	"concordia/internal/sim"
 )
@@ -36,29 +37,32 @@ func table3Config(cells int, o Options) core.Config {
 // RunTable3FPGA measures minimum cores and utilization for 1–3 accelerated
 // cells.
 func RunTable3FPGA(o Options) (*Table3Result, error) {
-	res := &Table3Result{}
 	probe := minProbe(o.dur(20 * sim.Second))
 	papers := map[int]string{1: "1 core, 58.2%", 2: "3 cores, 46.6%", 3: "4 cores, 58.7%"}
-	for cells := 1; cells <= 3; cells++ {
+	rows, err := parallel.Map(o.workers(), 3, func(i int) (Table3Row, error) {
+		cells := i + 1
 		cfg := table3Config(cells, o)
 		cores, err := core.MinimumCores(cfg, 12, 0.99999, probe)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
 		cfg.PoolCores = cores
 		sys, err := core.NewSystem(cfg)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
 		rep := sys.Run(probe)
-		res.Rows = append(res.Rows, Table3Row{
+		return Table3Row{
 			Cells:    cells,
 			MinCores: cores,
 			AvgUtil:  rep.RANUtilization(),
 			Paper:    papers[cells],
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table3Result{Rows: rows}, nil
 }
 
 // String implements fmt.Stringer.

@@ -6,6 +6,7 @@ import (
 
 	"concordia/internal/core"
 	"concordia/internal/costmodel"
+	"concordia/internal/parallel"
 	"concordia/internal/pool"
 	"concordia/internal/predictor"
 	"concordia/internal/ran"
@@ -51,32 +52,30 @@ type Fig8aResult struct {
 // RunFig8Reclaimed sweeps cell traffic load and measures the CPU share
 // Concordia returns to best-effort workloads versus the ideal bound.
 func RunFig8Reclaimed(o Options) (*Fig8aResult, error) {
-	res := &Fig8aResult{}
 	dur := o.dur(60 * sim.Second)
-	for _, is100 := range []bool{true, false} {
-		for _, load := range Loads {
-			cfg := table2Scenario(is100, o)
-			cfg.Load = load
-			cfg.Workload = workloads.Redis
-			sys, err := core.NewSystem(cfg)
-			if err != nil {
-				return nil, err
-			}
-			rep := sys.Run(dur)
-			pt := Fig8aPoint{
-				Load:       load,
-				Reclaimed:  rep.ReclaimedFraction(),
-				UpperBound: rep.IdealReclaimable(),
-				Reliable:   rep.Reliability(),
-			}
-			if is100 {
-				res.Points100MHz = append(res.Points100MHz, pt)
-			} else {
-				res.Points20MHz = append(res.Points20MHz, pt)
-			}
+	// 100 MHz points occupy indices [0, len(Loads)), 20 MHz the rest — the
+	// legacy sweep order, preserved by the ordered fan-out.
+	pts, err := parallel.Map(o.workers(), 2*len(Loads), func(j int) (Fig8aPoint, error) {
+		is100 := j < len(Loads)
+		cfg := table2Scenario(is100, o)
+		cfg.Load = Loads[j%len(Loads)]
+		cfg.Workload = workloads.Redis
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return Fig8aPoint{}, err
 		}
+		rep := sys.Run(dur)
+		return Fig8aPoint{
+			Load:       cfg.Load,
+			Reclaimed:  rep.ReclaimedFraction(),
+			UpperBound: rep.IdealReclaimable(),
+			Reliable:   rep.Reliability(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig8aResult{Points100MHz: pts[:len(Loads)], Points20MHz: pts[len(Loads):]}, nil
 }
 
 // String implements fmt.Stringer.
@@ -112,33 +111,37 @@ type Fig8bResult struct{ Rows []Fig8bRow }
 // RunFig8Workloads measures achieved workload throughput against the
 // no-vRAN ideal across loads, for the 100 MHz configuration.
 func RunFig8Workloads(o Options) (*Fig8bResult, error) {
-	res := &Fig8bResult{}
 	dur := o.dur(60 * sim.Second)
-	for _, wl := range []workloads.Kind{workloads.Redis, workloads.Nginx, workloads.TPCC, workloads.MLPerf} {
+	wls := []workloads.Kind{workloads.Redis, workloads.Nginx, workloads.TPCC, workloads.MLPerf}
+	loads := []float64{0.05, 0.50, 1.00}
+	rows, err := parallel.Map(o.workers(), len(wls)*len(loads), func(j int) (Fig8bRow, error) {
+		wl := wls[j/len(loads)]
+		load := loads[j%len(loads)]
 		prof, _ := workloads.ProfileOf(wl)
-		for _, load := range []float64{0.05, 0.50, 1.00} {
-			cfg := table2Scenario(true, o)
-			cfg.Load = load
-			cfg.Workload = wl
-			sys, err := core.NewSystem(cfg)
-			if err != nil {
-				return nil, err
-			}
-			rep := sys.Run(dur)
-			achieved := rep.WorkloadThroughput(wl)
-			ideal := prof.Ideal(cfg.PoolCores, dur.Seconds())
-			res.Rows = append(res.Rows, Fig8bRow{
-				Workload:     wl,
-				Load:         load,
-				Achieved:     achieved,
-				Ideal:        ideal,
-				FracOfIdeal:  achieved / ideal,
-				RANReliable:  rep.Reliability(),
-				CoresGranted: rep.BestEffortCoreSeconds / dur.Seconds(),
-			})
+		cfg := table2Scenario(true, o)
+		cfg.Load = load
+		cfg.Workload = wl
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return Fig8bRow{}, err
 		}
+		rep := sys.Run(dur)
+		achieved := rep.WorkloadThroughput(wl)
+		ideal := prof.Ideal(cfg.PoolCores, dur.Seconds())
+		return Fig8bRow{
+			Workload:     wl,
+			Load:         load,
+			Achieved:     achieved,
+			Ideal:        ideal,
+			FracOfIdeal:  achieved / ideal,
+			RANReliable:  rep.Reliability(),
+			CoresGranted: rep.BestEffortCoreSeconds / dur.Seconds(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig8bResult{Rows: rows}, nil
 }
 
 // String implements fmt.Stringer.
@@ -205,38 +208,57 @@ func trainEVTSet(cfg core.Config) (pool.Predictors, error) {
 // RunFig13PWCET sweeps load for the 20 MHz configuration under both
 // predictors.
 func RunFig13PWCET(o Options) (*Fig13Result, error) {
-	res := &Fig13Result{Loads: Loads}
 	dur := o.dur(60 * sim.Second)
-	for _, load := range Loads {
+	type point struct {
+		reclaimQ, reclaimE float64
+		tailQ, tailE       float64
+		reliabQ, reliabE   float64
+	}
+	// One job per load point; each job runs its QDT/pWCET pair back to back.
+	pts, err := parallel.Map(o.workers(), len(Loads), func(j int) (point, error) {
 		cfg := table2Scenario(false, o)
-		cfg.Load = load
+		cfg.Load = Loads[j]
 		cfg.Workload = workloads.Redis
 
 		sysQ, err := core.NewSystem(cfg)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		repQ := sysQ.Run(dur)
-		res.ReclaimQDT = append(res.ReclaimQDT, repQ.ReclaimedFraction())
 
 		cfgE := cfg
 		cfgE.TrainingSlots = o.training()
 		evt, err := trainEVTSet(cfgE)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		cfgE.Predictor = evt
 		sysE, err := core.NewSystem(cfgE)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		repE := sysE.Run(dur)
-		res.ReclaimPWCET = append(res.ReclaimPWCET, repE.ReclaimedFraction())
-		if load == 0.25 {
-			res.TailQDTUs = repQ.TailLatencyUs(0.9999)
-			res.TailPWCETUs = repE.TailLatencyUs(0.9999)
-			res.ReliabilityQDT = repQ.Reliability()
-			res.ReliabilityPW = repE.Reliability()
+		return point{
+			reclaimQ: repQ.ReclaimedFraction(),
+			reclaimE: repE.ReclaimedFraction(),
+			tailQ:    repQ.TailLatencyUs(0.9999),
+			tailE:    repE.TailLatencyUs(0.9999),
+			reliabQ:  repQ.Reliability(),
+			reliabE:  repE.Reliability(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig13Result{Loads: Loads}
+	for i, pt := range pts {
+		res.ReclaimQDT = append(res.ReclaimQDT, pt.reclaimQ)
+		res.ReclaimPWCET = append(res.ReclaimPWCET, pt.reclaimE)
+		if Loads[i] == 0.25 {
+			res.TailQDTUs = pt.tailQ
+			res.TailPWCETUs = pt.tailE
+			res.ReliabilityQDT = pt.reliabQ
+			res.ReliabilityPW = pt.reliabE
 		}
 	}
 	return res, nil
@@ -267,21 +289,28 @@ type Fig15bResult struct {
 // RunFig15Deadline sweeps the DAG deadline for the 20 MHz configuration at
 // 25% load and reports tail latency and reclaimed CPU.
 func RunFig15Deadline(o Options) (*Fig15bResult, error) {
-	res := &Fig15bResult{}
 	dur := o.dur(60 * sim.Second)
-	for _, dlUs := range []float64{1600, 1800, 2000} {
+	deadlines := []float64{1600, 1800, 2000}
+	type point struct{ tail, reclaimed float64 }
+	pts, err := parallel.Map(o.workers(), len(deadlines), func(j int) (point, error) {
 		cfg := table2Scenario(false, o)
 		cfg.Load = 0.25
 		cfg.Workload = workloads.Redis
-		cfg.Deadline = sim.FromUs(dlUs)
+		cfg.Deadline = sim.FromUs(deadlines[j])
 		sys, err := core.NewSystem(cfg)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		rep := sys.Run(dur)
-		res.DeadlinesUs = append(res.DeadlinesUs, dlUs)
-		res.TailUs = append(res.TailUs, rep.TailLatencyUs(0.99999))
-		res.Reclaimed = append(res.Reclaimed, rep.ReclaimedFraction())
+		return point{tail: rep.TailLatencyUs(0.99999), reclaimed: rep.ReclaimedFraction()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig15bResult{DeadlinesUs: deadlines}
+	for _, pt := range pts {
+		res.TailUs = append(res.TailUs, pt.tail)
+		res.Reclaimed = append(res.Reclaimed, pt.reclaimed)
 	}
 	return res, nil
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
+	"concordia/internal/parallel"
 	"concordia/internal/ran"
 )
 
@@ -73,12 +75,30 @@ func Run(name string, o Options, w io.Writer) error {
 	return err
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment, fanning them across o.Workers goroutines
+// while writing rendered results to w in the canonical Names order. Each
+// experiment seeds its own RNG streams from Options, so the output is
+// byte-for-byte identical for every worker count (modulo the host wall-clock
+// timings fig15a and calibration report).
 func RunAll(o Options, w io.Writer) error {
-	for _, name := range Names {
-		if err := Run(name, o, w); err != nil {
+	bufs := make([]*bytes.Buffer, len(Names))
+	runErr := parallel.ForEach(o.workers(), len(Names), func(i int) error {
+		var buf bytes.Buffer
+		if err := Run(Names[i], o, &buf); err != nil {
+			return err
+		}
+		bufs[i] = &buf
+		return nil
+	})
+	// Flush every result that completed before the lowest-indexed failure,
+	// matching the serial semantics of stopping at the failing experiment.
+	for _, buf := range bufs {
+		if buf == nil {
+			break
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
 			return err
 		}
 	}
-	return nil
+	return runErr
 }

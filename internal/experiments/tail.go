@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"concordia/internal/core"
+	"concordia/internal/parallel"
 	"concordia/internal/sim"
 	"concordia/internal/workloads"
 )
@@ -34,41 +35,47 @@ var Fig11Workloads = []workloads.Kind{
 // latency for Concordia and vanilla FlexRAN on both Table 1 configurations
 // across the five collocation scenarios, with 8-core pools as in the paper.
 func RunFig11TailLatency(o Options) (*Fig11Result, error) {
-	res := &Fig11Result{}
 	dur := o.dur(300 * sim.Second) // scale 3.0 reproduces the paper's 15-minute runs
-	for _, is100 := range []bool{false, true} {
+	scheds := []core.SchedulerKind{core.SchedConcordia, core.SchedFlexRAN}
+	// Every (config, scheduler, workload) run builds and drives its own
+	// System, so the 20 runs fan out across workers; rows land in the legacy
+	// nesting order (config outer, scheduler, workload inner).
+	perCfg := len(scheds) * len(Fig11Workloads)
+	rows, err := parallel.Map(o.workers(), 2*perCfg, func(j int) (Fig11Row, error) {
+		is100 := j/perCfg == 1
+		sched := scheds[j%perCfg/len(Fig11Workloads)]
+		wl := Fig11Workloads[j%len(Fig11Workloads)]
 		name := "7x20MHz FDD"
 		if is100 {
 			name = "2x100MHz TDD"
 		}
-		for _, sched := range []core.SchedulerKind{core.SchedConcordia, core.SchedFlexRAN} {
-			for _, wl := range Fig11Workloads {
-				cfg := table2Scenario(is100, o)
-				cfg.PoolCores = 8
-				// Table 1 specifies the *average* cell throughput, i.e. the
-				// maximum allowed average load.
-				cfg.Load = 1.0
-				cfg.Scheduler = sched
-				cfg.Workload = wl
-				sys, err := core.NewSystem(cfg)
-				if err != nil {
-					return nil, err
-				}
-				rep := sys.Run(dur)
-				res.Rows = append(res.Rows, Fig11Row{
-					Config:     name,
-					Scheduler:  sched,
-					Workload:   wl,
-					AvgUs:      rep.TailLatencyUs(0.5),
-					P9999Us:    rep.TailLatencyUs(0.9999),
-					P99999Us:   rep.TailLatencyUs(0.99999),
-					DeadlineUs: cfg.Deadline.Us(),
-					Reliable:   rep.Reliability(),
-				})
-			}
+		cfg := table2Scenario(is100, o)
+		cfg.PoolCores = 8
+		// Table 1 specifies the *average* cell throughput, i.e. the
+		// maximum allowed average load.
+		cfg.Load = 1.0
+		cfg.Scheduler = sched
+		cfg.Workload = wl
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return Fig11Row{}, err
 		}
+		rep := sys.Run(dur)
+		return Fig11Row{
+			Config:     name,
+			Scheduler:  sched,
+			Workload:   wl,
+			AvgUs:      rep.TailLatencyUs(0.5),
+			P9999Us:    rep.TailLatencyUs(0.9999),
+			P99999Us:   rep.TailLatencyUs(0.99999),
+			DeadlineUs: cfg.Deadline.Us(),
+			Reliable:   rep.Reliability(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig11Result{Rows: rows}, nil
 }
 
 // String implements fmt.Stringer.
@@ -108,32 +115,48 @@ type Fig12Result struct {
 // RunFig12Cores runs the constantly-on mixed workload against 8- and 9-core
 // pools for both configurations.
 func RunFig12Cores(o Options) (*Fig12Result, error) {
-	res := &Fig12Result{DeadlineUs: map[string]float64{}}
 	dur := o.dur(300 * sim.Second)
-	for _, is100 := range []bool{false, true} {
+	coreSet := []int{8, 9}
+	type job struct {
+		row      Fig12Row
+		deadline float64
+	}
+	jobs, err := parallel.Map(o.workers(), 2*len(coreSet), func(j int) (job, error) {
+		is100 := j/len(coreSet) == 1
+		cores := coreSet[j%len(coreSet)]
 		name := "7x20MHz"
 		if is100 {
 			name = "2x100MHz"
 		}
-		for _, cores := range []int{8, 9} {
-			cfg := table2Scenario(is100, o)
-			cfg.PoolCores = cores
-			cfg.Load = 1.0
-			cfg.Workload = workloads.Mix
-			sys, err := core.NewSystem(cfg)
-			if err != nil {
-				return nil, err
-			}
-			rep := sys.Run(dur)
-			res.DeadlineUs[name] = cfg.Deadline.Us()
-			res.Rows = append(res.Rows, Fig12Row{
+		cfg := table2Scenario(is100, o)
+		cfg.PoolCores = cores
+		cfg.Load = 1.0
+		cfg.Workload = workloads.Mix
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return job{}, err
+		}
+		rep := sys.Run(dur)
+		return job{
+			row: Fig12Row{
 				Config:   name,
 				Cores:    cores,
 				P9999Us:  rep.TailLatencyUs(0.9999),
 				P99999Us: rep.TailLatencyUs(0.99999),
 				Reliable: rep.Reliability(),
-			})
-		}
+			},
+			deadline: cfg.Deadline.Us(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{DeadlineUs: map[string]float64{}}
+	// The deadline map fills serially after the fan-out to keep map writes
+	// single-goroutine.
+	for _, jb := range jobs {
+		res.DeadlineUs[jb.row.Config] = jb.deadline
+		res.Rows = append(res.Rows, jb.row)
 	}
 	return res, nil
 }

@@ -1,0 +1,128 @@
+// Package parallel is the deterministic fan-out engine used by the
+// experiment harness, the PHY pipeline and predictor training. It provides
+// bounded worker pools with index-ordered result collection, in the style of
+// NDN-DPDK's sharded forwarding threads: work is described as an indexed
+// iteration space, workers pull indices from a shared counter, and every
+// result lands in its own slot, so the outcome is bit-for-bit identical for
+// any worker count (including 1) and any GOMAXPROCS.
+//
+// Determinism contract: fn(i) must depend only on i and on state that is
+// read-only for the duration of the call. Anything stochastic inside fn must
+// draw from a stream derived from i (see rng.Substream), never from a
+// generator shared across indices. Under that contract, the worker count
+// changes wall-clock time and nothing else.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Count resolves a Workers knob to a concrete worker count: n > 0 returns n
+// unchanged; anything else (the zero value of a config field) returns
+// runtime.NumCPU().
+func Count(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// ForEach executes fn(i) for every i in [0, n) using at most workers
+// concurrent goroutines (workers <= 0 selects Count's default). With one
+// worker the loop runs inline on the calling goroutine in index order — the
+// exact legacy serial path, stopping at the first error. With more workers
+// every index runs even if an earlier one fails; the error returned is the
+// one with the lowest index, so error reporting is deterministic too.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Count(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map executes fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the results in index order. The ordering guarantee is what lets
+// callers fan out and still render canonical output.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Shard is one contiguous sub-range [Lo, Hi) of an iteration space, with its
+// position in the shard sequence. Shard boundaries are a pure function of
+// the space size, never of the worker count, so per-shard RNG substreams
+// yield identical samples no matter how many workers execute them.
+type Shard struct {
+	Index  int
+	Lo, Hi int
+}
+
+// Shards splits [0, n) into at most max balanced contiguous shards (sizes
+// differ by at most one). It returns min(n, max) shards for positive n.
+func Shards(n, max int) []Shard {
+	if n <= 0 {
+		return nil
+	}
+	if max < 1 {
+		max = 1
+	}
+	count := max
+	if count > n {
+		count = n
+	}
+	out := make([]Shard, count)
+	lo := 0
+	for i := 0; i < count; i++ {
+		hi := lo + (n-lo)/(count-i)
+		out[i] = Shard{Index: i, Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCount(t *testing.T) {
+	if Count(3) != 3 {
+		t.Error("explicit count not respected")
+	}
+	if Count(0) < 1 || Count(-1) < 1 {
+		t.Error("default count must be at least 1")
+	}
+}
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		n := 1000
+		hits := make([]int32, n)
+		if err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := ForEach(workers, 100, func(i int) error {
+			if i == 7 || i == 93 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 7" {
+			t.Errorf("workers=%d: got %v, want the lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	want := make([]int, 500)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 3, 16} {
+		got, err := Map(workers, len(want), func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	if _, err := Map(4, 10, func(i int) (int, error) {
+		if i%2 == 1 {
+			return 0, fmt.Errorf("odd %d", i)
+		}
+		return i, nil
+	}); err == nil || err.Error() != "odd 1" {
+		t.Errorf("got %v, want deterministic first error", err)
+	}
+}
+
+func TestShards(t *testing.T) {
+	cases := []struct{ n, max, want int }{
+		{0, 8, 0}, {1, 8, 1}, {5, 8, 5}, {100, 8, 8}, {100, 1, 1}, {7, 0, 1},
+	}
+	for _, c := range cases {
+		sh := Shards(c.n, c.max)
+		if len(sh) != c.want {
+			t.Errorf("Shards(%d,%d): %d shards, want %d", c.n, c.max, len(sh), c.want)
+			continue
+		}
+		covered := 0
+		for i, s := range sh {
+			if s.Index != i {
+				t.Errorf("shard %d has Index %d", i, s.Index)
+			}
+			if i == 0 && s.Lo != 0 {
+				t.Errorf("first shard starts at %d", s.Lo)
+			}
+			if i > 0 && s.Lo != sh[i-1].Hi {
+				t.Errorf("gap between shard %d and %d", i-1, i)
+			}
+			if s.Hi <= s.Lo {
+				t.Errorf("empty shard %d: [%d,%d)", i, s.Lo, s.Hi)
+			}
+			covered += s.Hi - s.Lo
+		}
+		if c.n > 0 && sh[len(sh)-1].Hi != c.n {
+			t.Errorf("last shard ends at %d, want %d", sh[len(sh)-1].Hi, c.n)
+		}
+		if covered != c.n {
+			t.Errorf("shards cover %d indices, want %d", covered, c.n)
+		}
+	}
+	// Balance: sizes differ by at most one.
+	for _, s := range Shards(103, 8) {
+		if size := s.Hi - s.Lo; size != 12 && size != 13 {
+			t.Errorf("unbalanced shard size %d", size)
+		}
+	}
+}
+
+// TestShardsIndependentOfWorkers is the determinism contract: the shard
+// layout (and hence any per-shard RNG substream assignment) is a function of
+// the space size only.
+func TestShardsIndependentOfWorkers(t *testing.T) {
+	a := Shards(12345, 16)
+	b := Shards(12345, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("shard layout not deterministic")
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"concordia/internal/rng"
 )
@@ -24,18 +25,44 @@ type LDPCCode struct {
 	K int // information bits per codeblock
 	M int // parity bits per codeblock
 
+	// The Tanner graph below is immutable after construction and therefore
+	// shared freely across concurrent decoders.
+	//
 	// checkVars[r] lists the information-bit columns participating in check
 	// row r (the row support of A).
 	checkVars [][]int
 	// edges[r] lists every variable index (information and parity) adjacent
 	// to check r in the full Tanner graph, including accumulator edges.
 	edges [][]int
-	// scratch buffers reused across Decode calls; a code instance is not
-	// safe for concurrent decoding (callers hold one per worker).
+
+	// scratch pools per-worker message/posterior buffers: Decode borrows one
+	// set per call, so concurrent Decode calls on the same code are safe and
+	// steady-state decoding stays allocation-free.
+	scratch sync.Pool
+}
+
+// ldpcScratch is the mutable working state of one belief-propagation run:
+// everything Decode writes lives here, keeping LDPCCode itself read-only
+// during decoding.
+type ldpcScratch struct {
 	checkMsg  [][]float64
 	vmsg      [][]float64
 	posterior []float64
 	hard      []byte
+}
+
+func (c *LDPCCode) newScratch() *ldpcScratch {
+	s := &ldpcScratch{
+		checkMsg:  make([][]float64, c.M),
+		vmsg:      make([][]float64, c.M),
+		posterior: make([]float64, c.N()),
+		hard:      make([]byte, c.N()),
+	}
+	for r := 0; r < c.M; r++ {
+		s.checkMsg[r] = make([]float64, len(c.edges[r]))
+		s.vmsg[r] = make([]float64, len(c.edges[r]))
+	}
+	return s
 }
 
 // MaxLDPCIterations is the decoder iteration cap, matching the bounded
@@ -56,27 +83,34 @@ func NewLDPCCode(k, m int, seed uint64) (*LDPCCode, error) {
 	}
 	r := rng.New(seed)
 	// Column weight 3 (or fewer for very small M): each information bit
-	// lands in 3 distinct check rows, spread by random placement.
+	// lands in 3 distinct check rows, spread by random placement. One
+	// reusable []bool scratch marks the rows taken by the current column
+	// (cleared via the picked list, so construction stays O(K·weight)
+	// without a fresh map per column).
 	weight := 3
 	if m < weight {
 		weight = m
 	}
+	seen := make([]bool, m)
+	picked := make([]int, 0, weight)
 	for col := 0; col < k; col++ {
-		seen := map[int]bool{}
-		for len(seen) < weight {
+		picked = picked[:0]
+		for len(picked) < weight {
 			row := r.Intn(m)
 			if seen[row] {
 				continue
 			}
 			seen[row] = true
+			picked = append(picked, row)
 			c.checkVars[row] = append(c.checkVars[row], col)
+		}
+		for _, row := range picked {
+			seen[row] = false
 		}
 	}
 	// Precompute the full Tanner adjacency: check r connects its info
 	// columns, parity r, and parity r-1 (accumulator).
 	c.edges = make([][]int, m)
-	c.checkMsg = make([][]float64, m)
-	c.vmsg = make([][]float64, m)
 	for row := 0; row < m; row++ {
 		es := make([]int, 0, len(c.checkVars[row])+2)
 		es = append(es, c.checkVars[row]...)
@@ -85,11 +119,8 @@ func NewLDPCCode(k, m int, seed uint64) (*LDPCCode, error) {
 			es = append(es, k+row-1)
 		}
 		c.edges[row] = es
-		c.checkMsg[row] = make([]float64, len(es))
-		c.vmsg[row] = make([]float64, len(es))
 	}
-	c.posterior = make([]float64, c.N())
-	c.hard = make([]byte, c.N())
+	c.scratch.New = func() any { return c.newScratch() }
 	return c, nil
 }
 
@@ -155,8 +186,12 @@ type DecodeResult struct {
 // early when the syndrome check passes; the iteration count is the quantity
 // whose SNR dependence the paper's WCET predictor must capture.
 //
-// Decode reuses internal scratch state and is therefore not safe for
-// concurrent use on a single LDPCCode value.
+// Decode borrows per-call working state from an internal pool while reading
+// only the immutable Tanner graph, so concurrent Decode calls on a single
+// LDPCCode value are safe — this is what lets a transceiver decode a
+// transport block's codeblocks in parallel. The result is a pure function
+// of the LLRs: the worker that performs the decode never changes the bits
+// or iteration count.
 func (c *LDPCCode) Decode(llr []float64) (*DecodeResult, error) {
 	n := c.N()
 	if len(llr) != n {
@@ -164,12 +199,14 @@ func (c *LDPCCode) Decode(llr []float64) (*DecodeResult, error) {
 	}
 	const alpha = 0.8 // min-sum normalization factor
 
-	for r := range c.checkMsg {
-		for i := range c.checkMsg[r] {
-			c.checkMsg[r][i] = 0
+	sc := c.scratch.Get().(*ldpcScratch)
+	defer c.scratch.Put(sc)
+	for r := range sc.checkMsg {
+		for i := range sc.checkMsg[r] {
+			sc.checkMsg[r][i] = 0
 		}
 	}
-	posterior, hard := c.posterior, c.hard
+	posterior, hard := sc.posterior, sc.hard
 
 	for iter := 1; iter <= MaxLDPCIterations; iter++ {
 		// Flooding schedule: refresh posteriors from channel LLRs plus all
@@ -177,19 +214,19 @@ func (c *LDPCCode) Decode(llr []float64) (*DecodeResult, error) {
 		copy(posterior, llr)
 		for r := 0; r < c.M; r++ {
 			for i, v := range c.edges[r] {
-				posterior[v] += c.checkMsg[r][i]
+				posterior[v] += sc.checkMsg[r][i]
 			}
 		}
 		// Check update: normalized min-sum over variable-to-check messages
 		// (posterior minus this check's own previous contribution).
 		for r := 0; r < c.M; r++ {
 			es := c.edges[r]
-			vmsg := c.vmsg[r]
+			vmsg := sc.vmsg[r]
 			var sign float64 = 1
 			min1, min2 := math.Inf(1), math.Inf(1)
 			min1Idx := -1
 			for i, v := range es {
-				m := posterior[v] - c.checkMsg[r][i]
+				m := posterior[v] - sc.checkMsg[r][i]
 				vmsg[i] = m
 				a := math.Abs(m)
 				if m < 0 {
@@ -212,14 +249,14 @@ func (c *LDPCCode) Decode(llr []float64) (*DecodeResult, error) {
 				if vmsg[i] < 0 {
 					s = -s
 				}
-				c.checkMsg[r][i] = alpha * s * mag
+				sc.checkMsg[r][i] = alpha * s * mag
 			}
 		}
 		// Posterior + hard decision + syndrome.
 		copy(posterior, llr)
 		for r := 0; r < c.M; r++ {
 			for i, v := range c.edges[r] {
-				posterior[v] += c.checkMsg[r][i]
+				posterior[v] += sc.checkMsg[r][i]
 			}
 		}
 		for v := 0; v < n; v++ {

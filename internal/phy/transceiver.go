@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"concordia/internal/parallel"
 	"concordia/internal/rng"
 )
 
@@ -27,6 +28,8 @@ type Transceiver struct {
 	ofdm      *OFDM
 	// symbols per transport block after rate matching.
 	paddedBits int
+	// workers bounds the goroutines decoding codeblocks in Receive.
+	workers int
 }
 
 // TransceiverConfig sizes the chain.
@@ -39,6 +42,11 @@ type TransceiverConfig struct {
 	CPLen    int        // cyclic prefix samples
 	Carriers int        // active subcarriers
 	LDPCSeed uint64     // parity construction seed
+	// Workers bounds the worker goroutines used to decode a transport
+	// block's codeblocks in parallel: 0 = runtime.NumCPU(), 1 = serial.
+	// Decoding is a pure function of each codeblock's LLRs, so the results
+	// are bit-for-bit identical for every setting.
+	Workers int
 }
 
 // NewTransceiver validates and assembles the chain.
@@ -88,6 +96,7 @@ func NewTransceiver(cfg TransceiverConfig) (*Transceiver, error) {
 		scrambler:  NewScrambler(cfg.CInit),
 		ofdm:       ofdm,
 		paddedBits: e,
+		workers:    parallel.Count(cfg.Workers),
 	}, nil
 }
 
@@ -100,7 +109,9 @@ func (t *Transceiver) Transmit(payload []byte) ([]complex128, error) {
 	if err != nil {
 		return nil, err
 	}
-	var coded []byte
+	// The coded length is known up front: every codeblock rate-matches to
+	// paddedBits bits.
+	coded := make([]byte, 0, t.seg.NumBlocks*t.paddedBits)
 	for _, b := range blocks {
 		cw, err := t.code.Encode(b)
 		if err != nil {
@@ -117,13 +128,18 @@ func (t *Transceiver) Transmit(payload []byte) ([]complex128, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Pack symbols into OFDM symbols, zero-padding the last.
+	// Pack symbols into OFDM symbols, zero-padding the last. One grid buffer
+	// serves every OFDM symbol (Modulate copies out of it).
 	carriers := t.ofdm.carriers
-	var out []complex128
+	numSyms := (len(syms) + carriers - 1) / carriers
+	out := make([]complex128, 0, numSyms*t.ofdm.SymbolLength())
+	grid := make([]complex128, carriers)
 	for start := 0; start < len(syms); start += carriers {
 		end := start + carriers
-		grid := make([]complex128, carriers)
 		if end > len(syms) {
+			for i := range grid {
+				grid[i] = 0
+			}
 			copy(grid, syms[start:])
 		} else {
 			copy(grid, syms[start:end])
@@ -147,13 +163,16 @@ type RxResult struct {
 }
 
 // Receive runs the RX chain over time-domain samples with the given channel
-// noise variance.
+// noise variance. Codeblocks decode independently — they share only the
+// immutable code and rate matcher — so they fan out across the configured
+// worker count, with results collected in codeblock order; the output is
+// bit-for-bit identical for any Workers setting.
 func (t *Transceiver) Receive(samples []complex128, noiseVar float64) (*RxResult, error) {
 	symLen := t.ofdm.SymbolLength()
 	if len(samples)%symLen != 0 {
 		return nil, errors.New("phy: samples not a whole number of OFDM symbols")
 	}
-	var syms []complex128
+	syms := make([]complex128, 0, len(samples)/symLen*t.ofdm.carriers)
 	for start := 0; start < len(samples); start += symLen {
 		freq, err := t.ofdm.Demodulate(samples[start : start+symLen])
 		if err != nil {
@@ -172,18 +191,20 @@ func (t *Transceiver) Receive(samples []complex128, noiseVar float64) (*RxResult
 	}
 	// Trim OFDM grid padding, then descramble and split per codeblock.
 	descrambled := t.scrambler.ScrambleLLR(llr[:need])
-	res := &RxResult{}
-	blocks := make([][]byte, t.seg.NumBlocks)
-	for i := 0; i < t.seg.NumBlocks; i++ {
+	decs, err := parallel.Map(t.workers, t.seg.NumBlocks, func(i int) (*DecodeResult, error) {
 		chunk := descrambled[i*t.paddedBits : (i+1)*t.paddedBits]
 		acc, err := t.rm.Dematch(chunk)
 		if err != nil {
 			return nil, err
 		}
-		dec, err := t.code.Decode(acc)
-		if err != nil {
-			return nil, err
-		}
+		return t.code.Decode(acc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &RxResult{}
+	blocks := make([][]byte, t.seg.NumBlocks)
+	for i, dec := range decs {
 		res.TotalIterations += dec.Iterations
 		blocks[i] = dec.Info
 	}

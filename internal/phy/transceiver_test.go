@@ -116,20 +116,5 @@ func TestTransceiverReceiveErrors(t *testing.T) {
 	}
 }
 
-func BenchmarkTransceiverLoopback(b *testing.B) {
-	r := rng.New(1)
-	tx, err := NewTransceiver(TransceiverConfig{
-		TBBits: 8000, Mod: QAM16, CodeRate: 0.5, CInit: 1,
-		FFTSize: 512, CPLen: 36, Carriers: 480, LDPCSeed: 2,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	payload := randomBits(r, 8000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := tx.Loopback(payload, 12, r); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// BenchmarkTransceiverLoopback lives in bench_test.go, parameterized by the
+// Workers knob.

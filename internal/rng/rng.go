@@ -36,6 +36,26 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64())
 }
 
+// SubstreamSeed deterministically derives the seed of substream `stream`
+// within the family identified by seed. Unlike Split, the derivation is a
+// pure function of (seed, stream) — no generator state is consumed — which
+// is what parallel shards need: shard i always draws from the same stream
+// regardless of how many workers execute the shards or in what order. The
+// stream index is folded in with the golden-ratio increment and finalized
+// with the SplitMix64 mixer, so adjacent indices yield decorrelated states.
+func SubstreamSeed(seed, stream uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Substream returns a generator for substream `stream` of the family
+// identified by seed. See SubstreamSeed for the determinism contract.
+func Substream(seed, stream uint64) *Rand {
+	return New(SubstreamSeed(seed, stream))
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test lint tools check bench
 
 build:
 	$(GO) build ./...
@@ -11,15 +11,42 @@ build:
 test:
 	$(GO) test -timeout 20m ./...
 
-# check is the pre-merge gate: vet, the full suite, and the race detector
-# over every parallel code path. A blanket `go test -race ./...` would blow
-# the per-package timeout on small machines (the race detector slows the
-# experiment harness severalfold), so race coverage is split: all packages
-# in -short mode, then full runs of the packages that own concurrency
-# (worker pool, RNG substreams, parallel PHY decode), then a targeted slice
-# of the worker-determinism sweep at the module root.
-check: build
+# lint is the static gate: go vet, then the determinism suite (DESIGN.md §5b
+# — walltime, rngdiscipline, goroutinescope, maporder, floatsum) via the
+# cmd/concordialint vettool, then staticcheck and govulncheck when they are
+# installed (run `make tools` once, network required, to install the pinned
+# versions from tools/go.mod). The third-party linters are gated on
+# availability so the hermetic build environment still lints.
+lint: build
 	$(GO) vet ./...
+	$(GO) run ./cmd/concordialint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; run 'make tools' to enable (pinned in tools/go.mod)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; run 'make tools' to enable (pinned in tools/go.mod)"; \
+	fi
+
+# tools installs the pinned third-party linters. tools/ is a nested module so
+# the pins never leak into the main module's (empty) dependency set; this
+# target needs network access, which the default build environment lacks.
+tools:
+	cd tools && $(GO) mod tidy && \
+		$(GO) install honnef.co/go/tools/cmd/staticcheck && \
+		$(GO) install golang.org/x/vuln/cmd/govulncheck
+
+# check is the pre-merge gate: the static gate, the full suite, and the race
+# detector over every parallel code path. A blanket `go test -race ./...`
+# would blow the per-package timeout on small machines (the race detector
+# slows the experiment harness severalfold), so race coverage is split: all
+# packages in -short mode, then full runs of the packages that own
+# concurrency (worker pool, RNG substreams, parallel PHY decode), then a
+# targeted slice of the worker-determinism sweep at the module root.
+check: lint
 	$(GO) test -timeout 20m ./...
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/parallel ./internal/rng ./internal/phy ./internal/costmodel

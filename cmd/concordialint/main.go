@@ -1,0 +1,86 @@
+// Command concordialint is the determinism vettool: it runs the five
+// internal/lint analyzers (walltime, rngdiscipline, goroutinescope,
+// maporder, floatsum) over the module and exits non-zero on any finding or
+// suppression-comment problem. `make lint` gates merges on it.
+//
+// Usage:
+//
+//	concordialint [-q] [./... | dir ...]
+//
+// With no arguments (or "./...") every package of the enclosing module is
+// analyzed; otherwise only the named directories (module-relative or
+// absolute). Findings print in vet format:
+//
+//	internal/scheduler/sched.go:42:15: walltime: time.Now reads the wall clock ...
+//
+// Suppressions (//lint:allow <rule> <reason>) are counted and listed so that
+// every sanctioned escape stays visible in CI logs; -q hides the listing.
+// Malformed suppressions (no reason) and stale ones (matching no finding)
+// are hard errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"concordia/internal/lint"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress the //lint:allow summary listing")
+	list := flag.Bool("help-rules", false, "print the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+
+	var dirs []string // nil = whole module
+	for _, arg := range flag.Args() {
+		if arg == "./..." || arg == "..." {
+			dirs = nil
+			break
+		}
+		abs := arg
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(wd, arg)
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			fatal(fmt.Errorf("%s is outside module %s", arg, root))
+		}
+		dirs = append(dirs, filepath.ToSlash(rel))
+	}
+
+	res, err := lint.RunModule(root, dirs)
+	if err != nil {
+		fatal(err)
+	}
+	if *quiet {
+		res.Suppressed = nil
+	}
+	res.Report(os.Stderr, root)
+	if !res.Clean() {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "concordialint:", err)
+	os.Exit(2)
+}

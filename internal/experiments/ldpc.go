@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"concordia/internal/costmodel"
@@ -102,6 +103,17 @@ func (r *Fig6Result) String() string {
 	return sb.String()
 }
 
+// sortedLeafIDs returns the keys of a per-leaf sample map in ascending
+// order, the canonical iteration order for leaf statistics (maporder rule).
+func sortedLeafIDs(m map[int][]float64) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 // Fig7Result reproduces Fig 7: runtime samples group tightly into quantile
 // tree leaves, and interference fattens leaf tails without moving them.
 type Fig7Result struct {
@@ -175,9 +187,13 @@ func RunFig7Leaves(o Options) (*Fig7Result, error) {
 	}
 	res := &Fig7Result{Leaves: tree.NumLeaves(), GlobalVariance: stats.Variance(all)}
 
+	// Leaf maps are iterated in sorted-key order: the pooled variance is a
+	// float sum (not associative) and the worst-leaf scan breaks ties by
+	// first-seen, so raw map order would leak the hash seed into results.
 	pooled := func(m map[int][]float64) float64 {
 		var sum, w float64
-		for _, xs := range m {
+		for _, id := range sortedLeafIDs(m) {
+			xs := m[id]
 			if len(xs) < 2 {
 				continue
 			}
@@ -193,7 +209,8 @@ func RunFig7Leaves(o Options) (*Fig7Result, error) {
 	res.PooledLeafVarTPCC = pooled(tpccLeaves)
 
 	// Most distorted leaf by Wasserstein distance (Fig 7b).
-	for id, isoXs := range isoLeaves {
+	for _, id := range sortedLeafIDs(isoLeaves) {
+		isoXs := isoLeaves[id]
 		tpccXs := tpccLeaves[id]
 		if len(isoXs) < 30 || len(tpccXs) < 30 {
 			continue

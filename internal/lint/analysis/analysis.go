@@ -1,0 +1,63 @@
+// Package analysis is a minimal, API-compatible subset of
+// golang.org/x/tools/go/analysis, implemented on the standard library only.
+//
+// The build environment for this repository is hermetic — no module proxy,
+// no vendored third-party code — so the x/tools analysis framework cannot be
+// pulled in as a dependency. The determinism analyzers in internal/lint are
+// written against this shim instead. The shim deliberately mirrors the
+// upstream field and method names (Analyzer.Name/Doc/Run, Pass.Fset/Files/
+// Pkg/TypesInfo/Report/Reportf, Diagnostic.Pos/Message) so that, should
+// golang.org/x/tools become available (see tools/ for the pinned version),
+// each analyzer ports by changing a single import line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis rule: a name (also the key used by
+// //lint:allow suppression comments), human-readable documentation, and a Run
+// function invoked once per type-checked package.
+type Analyzer struct {
+	// Name identifies the rule in diagnostics and suppression comments.
+	// It must be a valid identifier.
+	Name string
+
+	// Doc is the one-paragraph description printed by `concordialint -help`.
+	Doc string
+
+	// Run applies the rule to a single package. Findings are delivered
+	// through pass.Report / pass.Reportf; the result value is unused by
+	// this driver and exists only for upstream API compatibility.
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries everything an Analyzer needs to inspect one package: the
+// position table, the parsed files, the type-checked package object, and the
+// fully populated types.Info.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver. The driver applies
+	// //lint:allow filtering after this call, so analyzers always report
+	// and never inspect suppression comments themselves.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

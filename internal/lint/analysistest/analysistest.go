@@ -1,0 +1,176 @@
+// Package analysistest runs an analyzer over fixture packages and checks its
+// diagnostics against // want comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract on the standard
+// library only (see internal/lint/analysis for why the shim exists).
+//
+// Fixture layout is GOPATH-style: testdata/src/<importpath>/*.go. A fixture
+// may claim any import path — including allowlisted production paths like
+// concordia/internal/sim — and may import real packages of this module,
+// which are resolved from the module root. Expected findings are written as
+//
+//	bad() // want "regexp" "another regexp"
+//
+// trailing the offending line. Each pattern must match one diagnostic
+// reported on that line (unanchored regexp over the message); diagnostics
+// with no matching pattern, and patterns with no matching diagnostic, fail
+// the test. //lint:allow suppression comments in fixtures are honored
+// exactly as the real driver honors them, so a suppressed violation needs no
+// want comment — asserting on Result.Suppressed exercises that path.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"concordia/internal/lint"
+	"concordia/internal/lint/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads each fixture package, applies the analyzer, and reports
+// mismatches against the fixtures' want comments through t. It returns the
+// merged result so callers can additionally assert on suppressed findings.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) *lint.Result {
+	t.Helper()
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	modPath, err := lint.ModulePath(root)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader := lint.NewLoader(
+		lint.Root{Module: "", Dir: filepath.Join(testdata, "src")},
+		lint.Root{Module: modPath, Dir: root},
+	)
+	total := &lint.Result{}
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkg))
+		units, err := loader.LoadDir(dir, pkg)
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", pkg, err)
+		}
+		if len(units) == 0 {
+			t.Fatalf("analysistest: no Go files in %s", dir)
+		}
+		for _, u := range units {
+			res := lint.RunUnitForTest(u, a)
+			checkWants(t, u, res)
+			total.Diags = append(total.Diags, res.Diags...)
+			total.Suppressed = append(total.Suppressed, res.Suppressed...)
+			total.Problems = append(total.Problems, res.Problems...)
+			total.UnitsRun += res.UnitsRun
+		}
+	}
+	return total
+}
+
+type want struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkWants(t *testing.T, u *lint.Unit, res *lint.Result) {
+	t.Helper()
+	wants := collectWants(t, u)
+	for _, d := range res.Diags {
+		if !consume(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func consume(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, u *lint.Unit) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				pats, err := parsePatterns(rest)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: p, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parsePatterns splits `"p1" "p2"` (double- or back-quoted Go strings) into
+// unquoted patterns.
+func parsePatterns(s string) ([]string, error) {
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("pattern must be a quoted Go string, got %q", s)
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == quote && (quote == '`' || s[end-1] != '\\') {
+				break
+			}
+			end++
+		}
+		if end == len(s) {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		unq, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %v", s[:end+1], err)
+		}
+		pats = append(pats, unq)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return pats, nil
+}

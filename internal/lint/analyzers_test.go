@@ -1,0 +1,57 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"concordia/internal/lint"
+	"concordia/internal/lint/analysistest"
+)
+
+// Each analyzer runs over its fixture package (positive and negative cases,
+// plus one //lint:allow-suppressed violation) and, where the rule carries a
+// package allowlist, over a fixture claiming the allowlisted import path.
+
+func TestWalltime(t *testing.T) {
+	res := analysistest.Run(t, analysistest.TestData(), lint.Walltime,
+		"walltime", "concordia/internal/sim")
+	requireSuppressed(t, res.Suppressed, "walltime")
+}
+
+func TestRNGDiscipline(t *testing.T) {
+	res := analysistest.Run(t, analysistest.TestData(), lint.RNGDiscipline,
+		"rngdiscipline", "concordia/internal/rng")
+	requireSuppressed(t, res.Suppressed, "rngdiscipline")
+}
+
+func TestGoroutineScope(t *testing.T) {
+	res := analysistest.Run(t, analysistest.TestData(), lint.GoroutineScope,
+		"goroutinescope", "concordia/internal/sim")
+	requireSuppressed(t, res.Suppressed, "goroutinescope")
+}
+
+func TestMapOrder(t *testing.T) {
+	res := analysistest.Run(t, analysistest.TestData(), lint.MapOrder, "maporder")
+	requireSuppressed(t, res.Suppressed, "maporder")
+}
+
+func TestFloatSum(t *testing.T) {
+	res := analysistest.Run(t, analysistest.TestData(), lint.FloatSum, "floatsum")
+	requireSuppressed(t, res.Suppressed, "floatsum")
+}
+
+// requireSuppressed asserts the fixture's //lint:allow comment was honored,
+// counted, and annotated with its reason.
+func requireSuppressed(t *testing.T, suppressed []lint.Diag, rule string) {
+	t.Helper()
+	if len(suppressed) != 1 {
+		t.Fatalf("want exactly 1 suppressed %s finding, got %d: %v", rule, len(suppressed), suppressed)
+	}
+	d := suppressed[0]
+	if d.Rule != rule {
+		t.Errorf("suppressed finding has rule %q, want %q", d.Rule, rule)
+	}
+	if !strings.Contains(d.Message, "suppression path") {
+		t.Errorf("suppressed finding should carry the //lint:allow reason, got: %s", d.Message)
+	}
+}

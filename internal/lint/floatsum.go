@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"concordia/internal/lint/analysis"
+)
+
+// FloatSum enforces the reduction side of the worker-pool determinism
+// contract (internal/parallel): a callback handed to parallel.ForEach or
+// parallel.Map may only communicate through its own index slot. Accumulating
+// into a variable captured from the enclosing scope (sum += x, best = v,
+// n++) folds shard results in completion order — nondeterministic for floats
+// (addition is not associative) and a data race for every type. The
+// sanctioned shape writes per-index results into a slice and reduces
+// afterwards, in index order, with parallel.SumOrdered or parallel.Reduce.
+var FloatSum = &analysis.Analyzer{
+	Name: "floatsum",
+	Doc: "forbid accumulation into captured variables inside parallel.ForEach/Map " +
+		"callbacks; write index slots and reduce with parallel.SumOrdered/Reduce",
+	Run: runFloatSum,
+}
+
+const parallelPkg = "concordia/internal/parallel"
+
+func runFloatSum(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParallelFanout(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					checkCallback(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isParallelFanout reports whether call invokes parallel.ForEach or
+// parallel.Map (possibly explicitly instantiated).
+func isParallelFanout(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fun := call.Fun
+	if ix, ok := fun.(*ast.IndexExpr); ok { // Map[T](...) explicit instantiation
+		fun = ix.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != parallelPkg {
+		return false
+	}
+	return fn.Name() == "ForEach" || fn.Name() == "Map"
+}
+
+func checkCallback(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok.String() == ":=" {
+				return true
+			}
+			compound := x.Tok.String() != "="
+			for _, lhs := range x.Lhs {
+				reportCapturedWrite(pass, lit, x.Pos(), lhs, compound)
+			}
+		case *ast.IncDecStmt:
+			reportCapturedWrite(pass, lit, x.Pos(), x.X, true)
+		}
+		return true
+	})
+}
+
+// reportCapturedWrite flags writes through variables captured from outside
+// the callback, unless the write lands in a slot indexed by a
+// callback-local variable (out[i] = v — the sanctioned pattern). Compound
+// writes are flagged for every numeric type (the int case is still a data
+// race in completion order); plain assignment is flagged for floats, where
+// last-writer-wins picks a different value each run.
+func reportCapturedWrite(pass *analysis.Pass, lit *ast.FuncLit, pos token.Pos, lhs ast.Expr, compound bool) {
+	root := lvalueRoot(lhs)
+	if root == nil {
+		return
+	}
+	obj := objOf(pass, root)
+	if obj == nil || declaredWithin(obj, lit) {
+		return
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	if indexedByLocal(pass, lhs, lit) {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(lhs)
+	if t == nil {
+		return
+	}
+	switch {
+	case compound && isNumeric(t):
+		pass.Reportf(pos,
+			"accumulation into %q captured by a parallel callback folds shard results in "+
+				"completion order (racy, and order-dependent for floats); write per-index "+
+				"results and reduce afterwards with parallel.SumOrdered or parallel.Reduce",
+			root.Name)
+	case !compound && isFloat(t):
+		pass.Reportf(pos,
+			"assignment to float %q captured by a parallel callback is last-writer-wins in "+
+				"completion order; write per-index results and reduce afterwards with "+
+				"parallel.SumOrdered or parallel.Reduce", root.Name)
+	}
+}

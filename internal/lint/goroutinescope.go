@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+
+	"concordia/internal/lint/analysis"
+)
+
+// goroutineAllowedPkgs own concurrency: the index-ordered worker pool is the
+// one place goroutines are spawned, and the simulator is allowed its own
+// machinery.
+var goroutineAllowedPkgs = []string{
+	"concordia/internal/parallel",
+	"concordia/internal/sim",
+}
+
+// GoroutineScope forbids raw `go` statements and sync.WaitGroup outside the
+// worker pool. Ad-hoc fan-out is where completion-order nondeterminism
+// enters: results arrive in scheduling order, errors race, and the outcome
+// depends on GOMAXPROCS. parallel.ForEach / parallel.Map give the same
+// concurrency with index-ordered results and deterministic error selection.
+// _test.go files are exempt (tests may exercise concurrency directly, and the
+// race gate in `make check` covers them).
+var GoroutineScope = &analysis.Analyzer{
+	Name: "goroutinescope",
+	Doc: "forbid raw go statements and sync.WaitGroup outside internal/parallel and " +
+		"internal/sim; fan out through parallel.ForEach / parallel.Map",
+	Run: runGoroutineScope,
+}
+
+func runGoroutineScope(pass *analysis.Pass) (any, error) {
+	if pkgAllowed(pass, goroutineAllowedPkgs...) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(x.Pos(),
+					"raw go statement bypasses the deterministic worker pool; results will "+
+						"arrive in scheduling order — use parallel.ForEach or parallel.Map "+
+						"(internal/parallel), which collect into index-ordered slots")
+			case *ast.SelectorExpr:
+				pkg, member, ok := importedPkg(pass, x)
+				if ok && pkg == "sync" && member == "WaitGroup" {
+					pass.Reportf(x.Pos(),
+						"sync.WaitGroup outside internal/parallel implies hand-rolled fan-out; "+
+							"use parallel.ForEach or parallel.Map, which own the only sanctioned "+
+							"goroutine spawn sites")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

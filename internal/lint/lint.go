@@ -1,0 +1,224 @@
+// Package lint is the determinism lint suite: five custom analyzers, written
+// against the go/analysis-compatible shim in internal/lint/analysis, that
+// mechanically enforce the reproducibility invariants the experiments depend
+// on (DESIGN.md §5b). The suite is compiled into the cmd/concordialint
+// vettool and gated in `make lint`.
+//
+// The invariants, one analyzer each:
+//
+//   - walltime: no wall-clock time outside the virtual clock (internal/sim)
+//     and explicitly annotated host-time experiments.
+//   - rngdiscipline: no math/rand; all randomness flows through seeded
+//     internal/rng substreams.
+//   - goroutinescope: no raw goroutines or sync.WaitGroup outside the
+//     deterministic worker pool (internal/parallel) and the simulator.
+//   - maporder: no iteration-order-dependent work inside `range` over a map.
+//   - floatsum: no shared floating-point accumulation inside parallel
+//     callbacks; shard results reduce in index order (parallel.SumOrdered).
+//
+// A finding is silenced — never disabled — with a justified suppression
+// comment on or directly above the offending line:
+//
+//	//lint:allow <rule> <reason>
+//
+// The driver counts suppressions and reports them, flags suppressions with
+// no reason, and flags stale suppressions that no longer match a finding.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"concordia/internal/lint/analysis"
+)
+
+// Analyzers returns the full determinism suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Walltime,
+		RNGDiscipline,
+		GoroutineScope,
+		MapOrder,
+		FloatSum,
+	}
+}
+
+// Diag is one unsuppressed finding, resolved to a printable position.
+type Diag struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Message)
+}
+
+// Result aggregates a run over one or more units.
+type Result struct {
+	Diags       []Diag   // findings not covered by a //lint:allow
+	Suppressed  []Diag   // findings covered by a //lint:allow (message carries the reason)
+	Problems    []Diag   // malformed or stale suppression comments
+	UnitsRun    int      // packages analyzed
+	AnalyzerIDs []string // names of the analyzers that ran
+}
+
+// Clean reports whether the run found nothing actionable.
+func (r *Result) Clean() bool { return len(r.Diags) == 0 && len(r.Problems) == 0 }
+
+// runUnit applies analyzers to one type-checked unit, resolving suppression
+// comments. checkUnused controls whether stale //lint:allow comments are
+// reported; the analysistest harness disables it because fixture packages are
+// analyzed one rule at a time, so allows for the other rules would look
+// stale.
+func runUnit(u *Unit, analyzers []*analysis.Analyzer, checkUnused bool) *Result {
+	res := &Result{UnitsRun: 1}
+	allows, parseProblems := parseAllows(u.Fset, u.Files)
+	for _, p := range parseProblems {
+		res.Problems = append(res.Problems, Diag{Pos: u.Fset.Position(p.Pos), Rule: "lint", Message: p.Message})
+	}
+	for _, a := range analyzers {
+		res.AnalyzerIDs = append(res.AnalyzerIDs, a.Name)
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := u.Fset.Position(d.Pos)
+			if al := match(allows, a.Name, pos.Filename, pos.Line); al != nil {
+				res.Suppressed = append(res.Suppressed, Diag{
+					Pos:     pos,
+					Rule:    a.Name,
+					Message: fmt.Sprintf("%s (suppressed: %s)", d.Message, al.Reason),
+				})
+				return
+			}
+			res.Diags = append(res.Diags, Diag{Pos: pos, Rule: a.Name, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			res.Problems = append(res.Problems, Diag{
+				Pos:     token.Position{Filename: u.Path},
+				Rule:    a.Name,
+				Message: fmt.Sprintf("analyzer failed: %v", err),
+			})
+		}
+	}
+	if checkUnused {
+		for _, al := range allows {
+			if !al.Used {
+				res.Problems = append(res.Problems, Diag{
+					Pos:  u.Fset.Position(al.Pos),
+					Rule: "lint",
+					Message: fmt.Sprintf("stale //lint:allow %s: no %s finding on this or the next line; delete it",
+						al.Rule, al.Rule),
+				})
+			}
+		}
+	}
+	return res
+}
+
+// RunUnitForTest applies a single analyzer to one unit with suppression
+// filtering but without stale-suppression checking — the entry point used by
+// the analysistest harness, where fixtures are analyzed one rule at a time.
+func RunUnitForTest(u *Unit, a *analysis.Analyzer) *Result {
+	return runUnit(u, []*analysis.Analyzer{a}, false)
+}
+
+func (r *Result) merge(o *Result) {
+	r.Diags = append(r.Diags, o.Diags...)
+	r.Suppressed = append(r.Suppressed, o.Suppressed...)
+	r.Problems = append(r.Problems, o.Problems...)
+	r.UnitsRun += o.UnitsRun
+}
+
+// RunModule runs the full suite over every package of the module rooted at
+// root. dirs restricts the run to those import-path-relative directories
+// (e.g. "internal/scheduler"); nil means every package.
+func RunModule(root string, dirs []string) (*Result, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	if dirs == nil {
+		dirs, err = ModuleDirs(root)
+		if err != nil {
+			return nil, err
+		}
+	}
+	loader := NewLoader(Root{Module: modPath, Dir: root})
+	analyzers := Analyzers()
+	total := &Result{AnalyzerIDs: analyzerNames(analyzers)}
+	for _, rel := range dirs {
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + rel
+		}
+		units, err := loader.LoadDir(filepath.Join(root, filepath.FromSlash(rel)), path)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range units {
+			r := runUnit(u, analyzers, true)
+			total.merge(r)
+		}
+	}
+	sortDiags(total.Diags)
+	sortDiags(total.Suppressed)
+	sortDiags(total.Problems)
+	return total, nil
+}
+
+func analyzerNames(as []*analysis.Analyzer) []string {
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
+	return names
+}
+
+func sortDiags(ds []Diag) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}
+
+// Report writes the result in vet style: findings and suppression-comment
+// problems to w, then a suppression summary. Paths are shown relative to
+// root when possible.
+func (r *Result) Report(w io.Writer, root string) {
+	rel := func(p token.Position) string {
+		if root != "" {
+			if rp, err := filepath.Rel(root, p.Filename); err == nil && !strings.HasPrefix(rp, "..") {
+				p.Filename = rp
+			}
+		}
+		return p.String()
+	}
+	for _, d := range r.Diags {
+		fmt.Fprintf(w, "%s: %s: %s\n", rel(d.Pos), d.Rule, d.Message)
+	}
+	for _, d := range r.Problems {
+		fmt.Fprintf(w, "%s: %s: %s\n", rel(d.Pos), d.Rule, d.Message)
+	}
+	if n := len(r.Suppressed); n > 0 {
+		fmt.Fprintf(w, "concordialint: %d finding(s) suppressed by //lint:allow:\n", n)
+		for _, d := range r.Suppressed {
+			fmt.Fprintf(w, "  %s: %s: %s\n", rel(d.Pos), d.Rule, d.Message)
+		}
+	}
+}

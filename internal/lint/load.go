@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Root is one tree of Go source the Loader can resolve import paths against.
+//
+// With Module set, import path "Module" maps to Dir and "Module/x/y" maps to
+// Dir/x/y (the layout of a Go module). With Module == "", the root is
+// GOPATH-style: import path "x/y" maps to Dir/x/y. The analysistest harness
+// uses a GOPATH-style root over testdata/src so fixture packages can claim
+// arbitrary import paths (including allowlisted ones like
+// concordia/internal/sim).
+type Root struct {
+	Module string // module path, or "" for GOPATH-style resolution
+	Dir    string // absolute directory the root maps to
+}
+
+// Unit is one type-checked collection of files ready for analysis: either a
+// package's production sources (optionally with in-package test files), or an
+// external _test package.
+type Unit struct {
+	// Path is the import path of the directory; external test packages get
+	// a "_test" suffix so allowlists keyed on production paths do not
+	// accidentally cover them.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages using only the standard library.
+// Imports within a configured Root are type-checked from source recursively;
+// everything else (the standard library) is resolved through go/importer's
+// source-mode importer. All packages share one FileSet and one package cache,
+// so a module-wide run type-checks the standard library once.
+type Loader struct {
+	Fset  *token.FileSet
+	roots []Root
+	std   types.ImporterFrom
+	cache map[string]*types.Package
+}
+
+// NewLoader returns a Loader resolving imports against roots, in order, then
+// the standard library.
+func NewLoader(roots ...Root) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:  fset,
+		roots: roots,
+		std:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache: map[string]*types.Package{},
+	}
+}
+
+// dirFor resolves an import path to a directory under one of the roots.
+// GOPATH-style roots claim a path only if the directory actually exists, so
+// unmatched paths fall through to the standard library importer.
+func (l *Loader) dirFor(path string) (string, bool) {
+	for _, r := range l.roots {
+		if r.Module == "" {
+			dir := filepath.Join(r.Dir, filepath.FromSlash(path))
+			if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+				return dir, true
+			}
+			continue
+		}
+		if path == r.Module {
+			return r.Dir, true
+		}
+		if strings.HasPrefix(path, r.Module+"/") {
+			return filepath.Join(r.Dir, filepath.FromSlash(strings.TrimPrefix(path, r.Module+"/"))), true
+		}
+	}
+	return "", false
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom. Packages imported this way are
+// type-checked without test files and memoized.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	dir, ok := l.dirFor(path)
+	if !ok {
+		p, err := l.std.ImportFrom(path, srcDir, mode)
+		if err == nil {
+			l.cache[path] = p
+		}
+		return p, err
+	}
+	files, _, err := l.parseDir(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s (import %q)", dir, path)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the buildable Go files of dir, split into production files
+// (plus in-package test files when withTests is set) and external-test-package
+// files. Files carrying //go:build constraints are skipped: the repository
+// compiles everything unconditionally, and honoring arbitrary constraints
+// would require replicating go/build here.
+func (l *Loader) parseDir(dir string, withTests bool) (prod, xtest []*ast.File, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !withTests {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		if constrained(f) {
+			continue
+		}
+		if !isTest {
+			prod = append(prod, f)
+			continue
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			xtest = append(xtest, f)
+		} else {
+			prod = append(prod, f)
+		}
+	}
+	return prod, xtest, nil
+}
+
+// constrained reports whether the file carries a //go:build (or legacy
+// // +build) constraint before its package clause.
+func constrained(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, "go:build") || strings.HasPrefix(text, "+build") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// LoadDir type-checks the package in dir (with import path path) and returns
+// the analysis units it yields: the production package including in-package
+// test files, and, if present, the external _test package. A directory with
+// no Go files yields no units.
+func (l *Loader) LoadDir(dir, path string) ([]*Unit, error) {
+	prod, xtest, err := l.parseDir(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	var units []*Unit
+	if len(prod) > 0 {
+		u, err := l.check(path, prod)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	if len(xtest) > 0 {
+		u, err := l.check(path+"_test", xtest)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+func (l *Loader) check(path string, files []*ast.File) (*Unit, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Unit{Path: path, Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// ModuleDirs returns the import-path-relative directories of every package in
+// the module rooted at root (".", "internal/phy", ...), skipping testdata
+// trees, hidden directories, and nested modules such as tools/.
+func ModuleDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		if rel != "." {
+			base := filepath.Base(rel)
+			if base == "testdata" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(p, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module (tools/)
+			}
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// ModulePath reads the module path from the go.mod at root.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"concordia/internal/lint/analysis"
+)
+
+// MapOrder flags `range` loops over maps whose bodies do order-sensitive
+// work: appending to an outer slice, writing output, or accumulating
+// floating-point values. Go randomizes map iteration order per run, so any
+// of these makes the result a function of the hash seed. The sanctioned
+// pattern is to collect the keys (that one append form is recognized and
+// exempt), sort them, and iterate the sorted slice. Order-insensitive bodies
+// — writing into another map under the ranged key, integer counting,
+// set-membership tests — pass untouched.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag order-dependent work (appends, output writes, float accumulation) " +
+		"inside range-over-map; iterate sorted keys instead",
+	Run: runMapOrder,
+}
+
+// outputMethods are writer-style method names whose calls emit bytes in
+// iteration order.
+var outputMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+func runMapOrder(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !rangesOverMap(pass, rs) {
+				return true
+			}
+			checkMapRangeBody(pass, rs)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func rangesOverMap(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// keyObj returns the object of the range key variable, if it is a named
+// identifier.
+func keyObj(pass *analysis.Pass, rs *ast.RangeStmt) types.Object {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func checkMapRangeBody(pass *analysis.Pass, rs *ast.RangeStmt) {
+	key := keyObj(pass, rs)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map-range is analyzed on its own visit; descending
+			// here would double-report its body.
+			if x != rs && rangesOverMap(pass, x) {
+				return false
+			}
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, rs, key, x)
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, x)
+		}
+		return true
+	})
+}
+
+func checkMapRangeCall(pass *analysis.Pass, rs *ast.RangeStmt, key types.Object, call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name != "append" || len(call.Args) == 0 {
+			return
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); !isBuiltin {
+			return
+		}
+		root := lvalueRoot(call.Args[0])
+		if root == nil {
+			return
+		}
+		obj := objOf(pass, root)
+		if obj == nil || declaredWithin(obj, rs) {
+			return
+		}
+		// The sanctioned key-collection prelude: keys = append(keys, k).
+		if key != nil && len(call.Args) == 2 && !call.Ellipsis.IsValid() {
+			if id, ok := call.Args[1].(*ast.Ident); ok && objOf(pass, id) == key {
+				return
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"append to %q inside range-over-map records the randomized iteration order; "+
+				"collect the keys, sort them, and range over the sorted slice instead",
+			root.Name)
+	case *ast.SelectorExpr:
+		if pkg, member, ok := importedPkg(pass, fun); ok {
+			if pkg == "fmt" && (strings.HasPrefix(member, "Print") || strings.HasPrefix(member, "Fprint")) {
+				pass.Reportf(call.Pos(),
+					"fmt.%s inside range-over-map emits rows in randomized order; "+
+						"iterate sorted keys instead", member)
+			}
+			return
+		}
+		if outputMethods[fun.Sel.Name] {
+			if root := lvalueRoot(fun.X); root != nil {
+				if obj := objOf(pass, root); obj != nil && !declaredWithin(obj, rs) {
+					pass.Reportf(call.Pos(),
+						"%s.%s inside range-over-map emits bytes in randomized order; "+
+							"iterate sorted keys instead", root.Name, fun.Sel.Name)
+				}
+			}
+		}
+	}
+}
+
+func checkMapRangeAssign(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	if as.Tok.String() == ":=" {
+		return
+	}
+	compound := as.Tok.String() != "="
+	for _, lhs := range as.Lhs {
+		root := lvalueRoot(lhs)
+		if root == nil {
+			continue
+		}
+		obj := objOf(pass, root)
+		if obj == nil || declaredWithin(obj, rs) {
+			continue
+		}
+		// Writes keyed by the loop variable (m2[k] = v, counts[k]++) land in
+		// a distinct slot per iteration and are order-independent.
+		if indexedByLocal(pass, lhs, rs) {
+			continue
+		}
+		t := pass.TypesInfo.TypeOf(lhs)
+		if t == nil || !isFloat(t) {
+			continue
+		}
+		if compound {
+			pass.Reportf(as.Pos(),
+				"floating-point accumulation into %q inside range-over-map depends on the "+
+					"randomized iteration order (float addition is not associative); "+
+					"iterate sorted keys instead", root.Name)
+		} else {
+			pass.Reportf(as.Pos(),
+				"assignment to %q inside range-over-map is last-writer-wins in randomized "+
+					"order (ties break differently per run); iterate sorted keys instead",
+				root.Name)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+
+	"concordia/internal/lint/analysis"
+)
+
+// rngAllowedPkgs may reference math/rand: only the repository's own RNG
+// package, should it ever need to wrap or benchmark against the standard
+// generator. (Today it does not even import it.)
+var rngAllowedPkgs = []string{"concordia/internal/rng"}
+
+var bannedRandPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// RNGDiscipline forbids math/rand everywhere, tests included. The global
+// generator is seeded from runtime entropy and shared across goroutines, and
+// even a locally constructed rand.New(rand.NewSource(seed)) draws in
+// goroutine-scheduling order when shared. All randomness must flow through
+// concordia/internal/rng: seeded xoshiro256** streams with per-shard
+// substreams (rng.Substream) whose draws are a pure function of (seed,
+// stream index).
+var RNGDiscipline = &analysis.Analyzer{
+	Name: "rngdiscipline",
+	Doc: "forbid math/rand (global functions, rand.New, even the import) outside " +
+		"internal/rng; all randomness flows through seeded rng.Substream generators",
+	Run: runRNGDiscipline,
+}
+
+func runRNGDiscipline(pass *analysis.Pass) (any, error) {
+	if pkgAllowed(pass, rngAllowedPkgs...) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !bannedRandPkgs[path] {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"import of %s: its generators are unseeded or shared and make runs "+
+					"irreproducible; use concordia/internal/rng (rng.New / rng.Substream) instead",
+				path)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, member, ok := importedPkg(pass, sel)
+			if !ok || !bannedRandPkgs[pkg] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s: randomness outside internal/rng is unseeded or "+
+					"iteration-order-dependent; draw from a seeded rng.Substream instead",
+				pkg, member)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Allow is one parsed //lint:allow comment. The comment syntax is
+//
+//	//lint:allow <rule> <reason>
+//
+// placed either at the end of the offending line or on its own line directly
+// above it. The reason is mandatory: a suppression without a recorded
+// justification is itself reported as a problem, and so is a suppression that
+// no diagnostic ever matched (it is stale and should be deleted).
+type Allow struct {
+	Pos    token.Pos
+	File   string
+	Line   int
+	Rule   string
+	Reason string
+	Used   bool
+}
+
+// Problem is a defect in the suppression comments themselves (malformed or
+// unused), reported by the driver rather than by any analyzer.
+type Problem struct {
+	Pos     token.Pos
+	Message string
+}
+
+const allowPrefix = "lint:allow"
+
+// parseAllows extracts every //lint:allow comment from the files of a unit.
+// Malformed comments (missing rule or reason) are returned as problems.
+func parseAllows(fset *token.FileSet, files []*ast.File) ([]*Allow, []Problem) {
+	var allows []*Allow
+	var problems []Problem
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments are not suppression carriers
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					problems = append(problems, Problem{
+						Pos: c.Pos(),
+						Message: "malformed suppression: want //lint:allow <rule> <reason> " +
+							"(the reason is mandatory and is reported in the suppression summary)",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				allows = append(allows, &Allow{
+					Pos:    c.Pos(),
+					File:   pos.Filename,
+					Line:   pos.Line,
+					Rule:   fields[0],
+					Reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return allows, problems
+}
+
+// match returns the allow that suppresses a diagnostic of rule at file:line,
+// if any: an allow for that rule trailing the same line, or on the line
+// directly above. The allow is marked used.
+func match(allows []*Allow, rule, file string, line int) *Allow {
+	for _, a := range allows {
+		if a.Rule != rule || a.File != file {
+			continue
+		}
+		if a.Line == line || a.Line == line-1 {
+			a.Used = true
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*Allow, []Problem) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows, problems := parseAllows(fset, []*ast.File{f})
+	return fset, allows, problems
+}
+
+func TestParseAllows(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //lint:allow walltime measuring the reproduction's own overhead
+	//lint:allow maporder feeding an order-insensitive hash
+	_ = 2
+}
+`
+	_, allows, problems := parseOne(t, src)
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+	if len(allows) != 2 {
+		t.Fatalf("want 2 allows, got %d", len(allows))
+	}
+	if allows[0].Rule != "walltime" || allows[0].Line != 4 {
+		t.Errorf("allow[0] = %+v", allows[0])
+	}
+	if allows[0].Reason != "measuring the reproduction's own overhead" {
+		t.Errorf("reason not joined: %q", allows[0].Reason)
+	}
+	if allows[1].Rule != "maporder" || allows[1].Line != 5 {
+		t.Errorf("allow[1] = %+v", allows[1])
+	}
+}
+
+func TestParseAllowsMalformed(t *testing.T) {
+	src := `package p
+
+//lint:allow walltime
+func f() {}
+`
+	_, allows, problems := parseOne(t, src)
+	if len(allows) != 0 {
+		t.Fatalf("malformed allow must not register: %v", allows)
+	}
+	if len(problems) != 1 {
+		t.Fatalf("want 1 problem for reason-less allow, got %d", len(problems))
+	}
+}
+
+func TestMatchScope(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow walltime reason here
+	_ = 1
+}
+`
+	_, allows, _ := parseOne(t, src)
+	if len(allows) != 1 {
+		t.Fatal("setup")
+	}
+	// The allow on line 4 covers diagnostics on line 4 (trailing form) and
+	// line 5 (line-above form), for its own rule only.
+	if match(allows, "walltime", "fixture.go", 5) == nil {
+		t.Error("line-above suppression did not match")
+	}
+	allows[0].Used = false
+	if match(allows, "walltime", "fixture.go", 6) != nil {
+		t.Error("suppression leaked two lines down")
+	}
+	if match(allows, "maporder", "fixture.go", 5) != nil {
+		t.Error("suppression matched the wrong rule")
+	}
+	if match(allows, "walltime", "other.go", 5) != nil {
+		t.Error("suppression matched the wrong file")
+	}
+}

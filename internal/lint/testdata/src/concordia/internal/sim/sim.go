@@ -1,0 +1,22 @@
+// Package sim is a fixture claiming the allowlisted import path
+// concordia/internal/sim: the virtual-clock package is sanctioned to touch
+// the host clock and to own its own concurrency machinery, so neither the
+// walltime nor the goroutinescope analyzer may report anything here.
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+func Drain(ch chan int) time.Time {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ch
+	}()
+	wg.Wait()
+	time.Sleep(time.Microsecond)
+	return time.Now()
+}

@@ -1,0 +1,59 @@
+// Package floatsum is a fixture for the floatsum analyzer. It imports the
+// real worker pool so the callee identification runs against the genuine
+// concordia/internal/parallel package.
+package floatsum
+
+import "concordia/internal/parallel"
+
+// Violations: accumulation into captured variables inside pool callbacks
+// folds shard results in completion order.
+func violations(n int) (float64, error) {
+	var sum float64
+	var peak float64
+	var hits int
+	err := parallel.ForEach(0, n, func(i int) error {
+		x := float64(i) * 0.5
+		sum += x // want "completion order"
+		if x > peak {
+			peak = x // want "last-writer-wins"
+		}
+		hits++ // want "completion order"
+		return nil
+	})
+	return sum + peak + float64(hits), err
+}
+
+// Negatives: the sanctioned shape — per-index slots, then an index-ordered
+// reduction. Locals inside the callback accumulate freely.
+func negatives(n int) (float64, error) {
+	shards, err := parallel.Map(0, n, func(i int) (float64, error) {
+		var local float64
+		for j := 0; j < 8; j++ {
+			local += float64(i*8 + j)
+		}
+		return local, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	out := make([]float64, n)
+	err = parallel.ForEach(0, n, func(i int) error {
+		out[i] = float64(i) // slot write: one index, one owner
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return parallel.SumOrdered(shards) + parallel.SumOrdered(out), nil
+}
+
+// Suppressed: a justified captured write (e.g. a monotonic flag guarded
+// elsewhere).
+func suppressed(n int) (float64, error) {
+	var last float64
+	err := parallel.ForEach(1, n, func(i int) error {
+		last = float64(i) //lint:allow floatsum fixture exercises the suppression path
+		return nil
+	})
+	return last, err
+}

@@ -1,0 +1,36 @@
+// Package goroutinescope is a fixture for the goroutinescope analyzer.
+package goroutinescope
+
+import (
+	"sync"
+
+	"concordia/internal/parallel"
+)
+
+// Violations: raw goroutines and hand-rolled fan-out.
+func violations(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup // want "WaitGroup"
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // want "raw go statement"
+			defer wg.Done()
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Negatives: the worker pool is the sanctioned fan-out, and the keyword-free
+// spelling of concurrency (a plain call) is obviously fine.
+func negatives(n int) ([]int, error) {
+	return parallel.Map(0, n, func(i int) (int, error) {
+		return i * i, nil
+	})
+}
+
+// Suppressed: a justified raw goroutine (e.g. a fire-and-forget logger).
+func suppressed(ch chan struct{}) {
+	go close(ch) //lint:allow goroutinescope fixture exercises the suppression path
+}

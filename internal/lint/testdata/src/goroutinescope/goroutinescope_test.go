@@ -1,0 +1,15 @@
+package goroutinescope
+
+import (
+	"sync"
+	"testing"
+)
+
+// _test.go files are exempt from goroutinescope: tests may exercise
+// concurrency directly (the race gate covers them). No want comments here.
+func TestRawGoroutineAllowed(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go wg.Done()
+	wg.Wait()
+}

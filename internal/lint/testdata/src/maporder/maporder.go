@@ -1,0 +1,60 @@
+// Package maporder is a fixture for the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Violations: order-sensitive work inside range-over-map.
+func violations(m map[string][]float64, w *strings.Builder) ([]string, float64) {
+	var names []string
+	var sum float64
+	var worst float64
+	for name, xs := range m {
+		names = append(names, name+"!") // want "append"
+		for _, x := range xs {
+			sum += x // want "accumulation"
+		}
+		if len(xs) > 0 && xs[0] > worst {
+			worst = xs[0] // want "last-writer-wins"
+		}
+		fmt.Println(name)   // want "randomized order"
+		w.WriteString(name) // want "randomized order"
+	}
+	return names, sum + worst
+}
+
+// Negatives: the sanctioned sorted-key pattern, keyed writes, and integer
+// counting are all order-independent.
+func negatives(m map[string][]float64) (float64, int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // the key-collection prelude is exempt
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		for _, x := range m[k] {
+			sum += x // range over a sorted slice, not a map
+		}
+	}
+	count := 0
+	sizes := map[string]int{}
+	for k, xs := range m {
+		sizes[k] = len(xs) // keyed write: one slot per iteration
+		count += len(xs)   // integer addition is associative
+	}
+	return sum, count
+}
+
+// Suppressed: a justified order-dependent loop (e.g. feeding a
+// commutative-and-associative hash).
+func suppressed(m map[int]int) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += float64(v) //lint:allow maporder fixture exercises the suppression path
+	}
+	return sum
+}

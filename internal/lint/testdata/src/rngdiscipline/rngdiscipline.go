@@ -1,0 +1,33 @@
+// Package rngdiscipline is a fixture for the rngdiscipline analyzer.
+package rngdiscipline
+
+import (
+	"math/rand" // want "unseeded or shared"
+)
+
+// Violations: global functions, constructors, and types of math/rand.
+func violations() float64 {
+	rand.Seed(1)                        // want "Seed"
+	r := rand.New(rand.NewSource(42))   // want "New" "NewSource"
+	_ = rand.Intn(10)                   // want "Intn"
+	return r.Float64() + rand.Float64() // want "Float64"
+}
+
+// Negatives: a hand-rolled deterministic generator has no math/rand
+// fingerprint.
+type lcg struct{ s uint64 }
+
+func (g *lcg) next() uint64 {
+	g.s = g.s*6364136223846793005 + 1442695040888963407
+	return g.s
+}
+
+func negatives() uint64 {
+	g := &lcg{s: 1}
+	return g.next()
+}
+
+// Suppressed: a justified escape hatch.
+func suppressed() int {
+	return rand.Int() //lint:allow rngdiscipline fixture exercises the suppression path
+}

@@ -1,0 +1,15 @@
+package rngdiscipline
+
+import (
+	"math/rand/v2" // want "unseeded or shared"
+	"testing"
+)
+
+// rngdiscipline applies to _test.go files too: a test drawing from an
+// unseeded generator flakes, which is exactly what the suite exists to
+// prevent.
+func TestViolation(t *testing.T) {
+	if rand.IntN(2) == 3 { // want "IntN"
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,35 @@
+// Package walltime is a fixture for the walltime analyzer.
+package walltime
+
+import "time"
+
+// Violations: every wall-clock read or block is flagged.
+func violations() time.Duration {
+	start := time.Now()             // want "wall clock"
+	time.Sleep(time.Millisecond)    // want "wall clock"
+	_ = time.Since(start)           // want "wall clock"
+	_ = time.Until(start)           // want "wall clock"
+	t := time.NewTimer(time.Second) // want "wall clock"
+	<-time.After(time.Millisecond)  // want "wall clock"
+	_ = t
+	return time.Since(start) // want "wall clock"
+}
+
+// Negatives: pure conversions and constants are deterministic, and methods
+// named Now on our own types are not the time package.
+type clock struct{ now int64 }
+
+func (c *clock) Now() int64 { return c.now }
+
+func negatives(c *clock) time.Duration {
+	d := 3 * time.Millisecond
+	_ = time.Duration(42)
+	_ = c.Now()
+	return d
+}
+
+// Suppressed: an annotated host-time measurement passes, and the reason is
+// carried into the suppression report.
+func suppressed() time.Time {
+	return time.Now() //lint:allow walltime fixture exercises the suppression path
+}

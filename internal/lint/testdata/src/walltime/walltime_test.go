@@ -1,0 +1,16 @@
+package walltime
+
+import (
+	"testing"
+	"time"
+)
+
+// _test.go files are exempt from walltime: benchmarks legitimately measure
+// host time. No want comments here — a diagnostic in this file fails the
+// fixture.
+func BenchmarkHostClock(b *testing.B) {
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		_ = time.Since(start)
+	}
+}

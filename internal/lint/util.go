@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"concordia/internal/lint/analysis"
+)
+
+// pkgAllowed reports whether the pass's package is one of the allowlisted
+// import paths. External test units carry a "_test" path suffix, which is
+// stripped first: a package sanctioned to hold wall-clock or goroutine code
+// is equally sanctioned in its own tests.
+func pkgAllowed(pass *analysis.Pass, allowed ...string) bool {
+	path := strings.TrimSuffix(pass.Pkg.Path(), "_test")
+	for _, a := range allowed {
+		if path == a {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether the file sits in a _test.go source file.
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	name := pass.Fset.Position(f.Package).Filename
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// importedPkg resolves a selector like time.Now to the imported package path
+// and member name, when the receiver is a plain package qualifier.
+func importedPkg(pass *analysis.Pass, sel *ast.SelectorExpr) (pkgPath, member string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// lvalueRoot strips selectors, indexing, parens and derefs down to the
+// left-most identifier of an assignable expression: res.Rows[i] -> res.
+func lvalueRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves an identifier to its object, whether it is a use or a
+// definition site.
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// declaredWithin reports whether obj's declaration lies inside node's source
+// span — i.e. the object is local to that syntax (loop body, func literal).
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() != 0 && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// isFloat reports whether t's underlying type is a floating-point or complex
+// scalar — the types whose addition is not associative, so accumulation
+// order changes the result.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isNumeric reports whether t's underlying type is any numeric scalar.
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsNumeric != 0
+}
+
+// indexedByLocal reports whether e contains an index expression whose index
+// depends on an object declared within scope — the "write to your own slot"
+// pattern (out[i] = v) that is safe under any execution order.
+func indexedByLocal(pass *analysis.Pass, e ast.Expr, scope ast.Node) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok || found {
+			return !found
+		}
+		ast.Inspect(ix.Index, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if declaredWithin(objOf(pass, id), scope) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+
+	"concordia/internal/lint/analysis"
+)
+
+// wallClockFuncs are the package time members whose value depends on (or
+// blocks on) the host clock. Pure conversions and constants (time.Duration,
+// time.Microsecond, time.ParseDuration) are not listed: they are
+// deterministic.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// walltimeAllowedPkgs may touch the host clock freely: the discrete-event
+// simulator owns virtual time and is the sanctioned replacement everyone
+// else is pointed at.
+var walltimeAllowedPkgs = []string{"concordia/internal/sim"}
+
+// Walltime forbids reading the host clock. Concordia's scheduling decisions
+// must be a pure function of task state and predicted WCETs; a single
+// time.Now() in a decision path silently couples results to machine load.
+// Virtual time (sim.Engine.Now, sim.Time) is the replacement. _test.go files
+// are exempt (benchmarks legitimately measure host time), as are the
+// explicitly annotated host-overhead experiments (//lint:allow walltime).
+var Walltime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock time (time.Now/Since/Sleep/timers) outside internal/sim " +
+		"and annotated host-time experiments; use the virtual clock instead",
+	Run: runWalltime,
+}
+
+func runWalltime(pass *analysis.Pass) (any, error) {
+	if pkgAllowed(pass, walltimeAllowedPkgs...) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, member, ok := importedPkg(pass, sel)
+			if !ok || pkg != "time" || !wallClockFuncs[member] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock and breaks bit-for-bit reproducibility; "+
+					"use virtual time (sim.Engine.Now / sim.Time) or, for a sanctioned "+
+					"host-time measurement, annotate with //lint:allow walltime <reason>",
+				member)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,29 @@
+package parallel
+
+// This file holds the canonical ordered reductions for shard results. Map
+// and ForEach guarantee index-ordered output slots; these helpers close the
+// loop by folding those slots strictly in index order, so the reduced value
+// is bit-for-bit identical for any worker count. The floatsum lint rule
+// points violators here: never accumulate into a captured variable inside a
+// pool callback — return per-index results and reduce with these.
+
+// SumOrdered returns the sum of xs accumulated strictly in index order.
+// Floating-point addition is not associative, so this left-to-right fold is
+// the one canonical sum; re-associating (tree reduction, accumulation in
+// completion order) yields a different last bit on every run.
+func SumOrdered(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Reduce folds xs into acc strictly in index order: the deterministic
+// generalization of SumOrdered for non-float or structured shard results.
+func Reduce[A, T any](acc A, xs []T, f func(A, T) A) A {
+	for _, x := range xs {
+		acc = f(acc, x)
+	}
+	return acc
+}

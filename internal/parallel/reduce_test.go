@@ -1,0 +1,45 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSumOrderedMatchesSerial pins the contract: SumOrdered over Map output
+// equals the serial left-to-right sum exactly, for any worker count.
+func TestSumOrderedMatchesSerial(t *testing.T) {
+	const n = 10_000
+	// Values spanning many magnitudes so re-association would actually
+	// change the result.
+	val := func(i int) float64 {
+		return math.Ldexp(1+float64(i%97)/97, (i%61)-30)
+	}
+	var serial float64
+	for i := 0; i < n; i++ {
+		serial += val(i)
+	}
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		out, err := Map(workers, n, func(i int) (float64, error) { return val(i), nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := SumOrdered(out); got != serial {
+			t.Errorf("workers=%d: SumOrdered=%g, serial=%g (diff %g)",
+				workers, got, serial, got-serial)
+		}
+	}
+}
+
+func TestReduceOrder(t *testing.T) {
+	xs := []string{"a", "b", "c"}
+	got := Reduce("", xs, func(acc, s string) string { return acc + s })
+	if got != "abc" {
+		t.Errorf("Reduce folded out of order: %q", got)
+	}
+}
+
+func TestSumOrderedEmpty(t *testing.T) {
+	if s := SumOrdered(nil); s != 0 {
+		t.Errorf("SumOrdered(nil) = %g, want 0", s)
+	}
+}

@@ -1,0 +1,14 @@
+// Nested module pinning third-party developer tooling. It is deliberately
+// separate from the main module so the (empty) production dependency set
+// stays empty and `go build ./...` never needs the network. `make tools`
+// materializes these pins (go mod tidy + go install); the versions below are
+// the ones the internal/lint/analysis shim and staticcheck.conf target.
+module concordia/tools
+
+go 1.22
+
+require (
+	golang.org/x/tools v0.24.0
+	golang.org/x/vuln v1.1.3
+	honnef.co/go/tools v0.5.1
+)

@@ -1,0 +1,19 @@
+//go:build tools
+
+// Package tools records the repository's third-party tooling as blank
+// imports so their versions are pinned by this nested module's go.mod (the
+// standard "tools.go" pattern). Nothing here is ever compiled into the
+// simulator; the build tag keeps the imports out of every real build.
+//
+//   - golang.org/x/tools: the go/analysis framework that
+//     internal/lint/analysis mirrors; pinning it documents exactly which
+//     upstream API the shim tracks for an eventual one-line-import port.
+//   - honnef.co/go/tools: staticcheck (configured by ../staticcheck.conf).
+//   - golang.org/x/vuln: govulncheck.
+package tools
+
+import (
+	_ "golang.org/x/tools/go/analysis"
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)

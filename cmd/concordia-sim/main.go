@@ -6,17 +6,37 @@
 //
 //	concordia-sim -config 20mhz -cells 7 -cores 8 -sched concordia \
 //	              -workload redis -load 0.25 -duration 60 -seed 42
+//
+// With -trace the run's event timeline is exported as Chrome trace-event
+// JSON (open in ui.perfetto.dev); -metrics exports the per-slot metrics time
+// series as CSV. Both are byte-identical for a fixed seed regardless of
+// -workers.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"concordia"
 	"concordia/internal/traffic"
 	"concordia/internal/workloads"
 )
+
+// writeExport creates path and streams one telemetry export into it,
+// reporting write and close errors.
+func writeExport(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	config := flag.String("config", "20mhz", "cell class: 20mhz, 100mhz or lte")
@@ -29,10 +49,13 @@ func main() {
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	useAccel := flag.Bool("accel", false, "offload LDPC to the modeled FPGA")
 	includeMAC := flag.Bool("mac", false, "multiplex the MAC-layer extension DAGs (§7)")
-	tracePath := flag.String("trace", "", "CSV trace (tracegen format) to replay for both directions")
-	traceScale := flag.Float64("trace-scale", 1, "volume multiplier for replayed traces")
+	replayPath := flag.String("replay", "", "CSV traffic trace (tracegen format) to replay for both directions")
+	traceScale := flag.Float64("trace-scale", 1, "volume multiplier for replayed traffic traces")
 	minCores := flag.Bool("min-cores", false, "search for the minimum core count first")
 	workers := flag.Int("workers", 0, "worker goroutines for parallel setup work (0 = NumCPU, 1 = serial; results are identical)")
+	traceOut := flag.String("trace", "", "write the run's Chrome trace-event JSON (Perfetto) to this file")
+	metricsOut := flag.String("metrics", "", "write the run's metrics time series CSV to this file")
+	perCell := flag.Bool("per-cell", false, "print the per-cell deadline-miss and queueing-delay breakdown")
 	flag.Parse()
 
 	var cfg concordia.Config
@@ -63,8 +86,13 @@ func main() {
 	}
 	cfg.Workload = wl
 	cfg.IncludeMAC = *includeMAC
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
+	// -per-cell needs the instrumented path too: queueing delays are observed
+	// per dispatch only when telemetry is on.
+	if *traceOut != "" || *metricsOut != "" || *perCell {
+		cfg.Telemetry = concordia.NewTelemetry(concordia.TelemetryOptions{})
+	}
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
@@ -96,6 +124,21 @@ func main() {
 	}
 	rep := sys.Run(concordia.Seconds(*duration))
 	fmt.Print(rep)
+	if *perCell {
+		fmt.Print(rep.PerCellString())
+	}
+	if *traceOut != "" {
+		if err := writeExport(*traceOut, sys.WriteChromeTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeExport(*metricsOut, sys.WriteMetricsCSV); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
 	if wl != concordia.Isolated && wl != concordia.Mix {
 		p, _ := workloads.ProfileOf(wl)
 		achieved := rep.WorkloadThroughput(wl)

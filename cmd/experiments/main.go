@@ -12,11 +12,52 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"concordia/internal/experiments"
 )
+
+// captureTelemetry runs the canonical instrumented scenario and writes the
+// requested exports (either path may be empty).
+func captureTelemetry(o experiments.Options, tracePath, metricsPath string) error {
+	open := func(path string) (*os.File, error) {
+		if path == "" {
+			return nil, nil
+		}
+		return os.Create(path)
+	}
+	tf, err := open(tracePath)
+	if err != nil {
+		return err
+	}
+	mf, err := open(metricsPath)
+	if err != nil {
+		return err
+	}
+	// *os.File nil-ness does not survive the interface conversion; keep the
+	// io.Writer nil when no path was given.
+	var tw, mw io.Writer
+	if tf != nil {
+		tw = tf
+	}
+	if mf != nil {
+		mw = mf
+	}
+	if err := experiments.CaptureTelemetry(o, tw, mw); err != nil {
+		return err
+	}
+	for _, f := range []*os.File{tf, mf} {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 func main() {
 	seed := flag.Uint64("seed", 42, "deterministic seed")
@@ -25,6 +66,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for experiment fan-out (0 = NumCPU, 1 = serial; output is identical)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	csvDir := flag.String("csv", "", "also write raw data series as <dir>/<name>.csv where supported")
+	traceOut := flag.String("trace", "", "capture the canonical scenario's Chrome trace-event JSON (Perfetto) to this file and exit")
+	metricsOut := flag.String("metrics", "", "capture the canonical scenario's metrics time-series CSV to this file and exit")
 	flag.Parse()
 
 	if *list {
@@ -34,6 +77,13 @@ func main() {
 		return
 	}
 	o := experiments.Options{Seed: *seed, Scale: *scale, TrainingSlots: *training, Workers: *workers}
+	if *traceOut != "" || *metricsOut != "" {
+		if err := captureTelemetry(o, *traceOut, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	names := flag.Args()
 	if len(names) == 0 && *csvDir == "" {
 		// Full regeneration goes through RunAll so experiments fan out

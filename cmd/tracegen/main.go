@@ -42,7 +42,6 @@ func main() {
 		return
 	}
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	fmt.Fprint(w, "tti")
 	for c := 0; c < *cells; c++ {
 		fmt.Fprintf(w, ",cell%d", c)
@@ -54,5 +53,11 @@ func main() {
 			fmt.Fprintf(w, ",%d", v)
 		}
 		fmt.Fprintln(w)
+	}
+	// A buffered writer swallows write errors until Flush: a full disk or a
+	// closed pipe must fail the command, not truncate the trace silently.
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"concordia/internal/pool"
 	"concordia/internal/ran"
 	"concordia/internal/sim"
+	"concordia/internal/telemetry"
 	"concordia/internal/workloads"
 )
 
@@ -47,6 +48,12 @@ type (
 	WorkloadKind = workloads.Kind
 	// Time is a virtual-time instant or duration in nanoseconds.
 	Time = sim.Time
+	// Telemetry records a run's structured event trace and metrics time
+	// series. Create with NewTelemetry, attach via Config.Telemetry, export
+	// with System.WriteChromeTrace / System.WriteMetricsCSV.
+	Telemetry = telemetry.Recorder
+	// TelemetryOptions configures trace capacity and metrics sampling.
+	TelemetryOptions = telemetry.Options
 )
 
 // Scheduling policies.
@@ -77,6 +84,10 @@ const (
 // decision tree per signal-processing task (Algorithm 1), and assembles the
 // vRAN pool with the chosen scheduler and workloads.
 func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// NewTelemetry returns an enabled telemetry recorder. The zero Options value
+// selects the defaults (256 Ki event ring, one metrics sample per slot).
+func NewTelemetry(opts TelemetryOptions) *Telemetry { return telemetry.New(opts) }
 
 // Scenario20MHz returns the paper's 7×20 MHz FDD deployment preset
 // (2 ms slot deadline). Adjust cells/cores as needed.

@@ -23,9 +23,25 @@ type Accelerator struct {
 	// SubmitCost is the CPU-side cost of DMA setup per offload request.
 	SubmitCost sim.Time
 
+	// Probe, when non-nil, observes every accepted offload request at
+	// submission time (telemetry attaches here). The record carries the
+	// device-side schedule the FIFO lane model already decided — start,
+	// completion, lane — so the observer needs no further bookkeeping.
+	Probe func(OffloadRecord)
+
 	laneFree []sim.Time
 	// Busy integrates device busy lane-time for utilization accounting.
 	Busy sim.Time
+}
+
+// OffloadRecord describes one accepted accelerator request.
+type OffloadRecord struct {
+	// Submitted is when the request entered the device queue; Start and Done
+	// bound the device processing interval on the chosen lane.
+	Submitted, Start, Done sim.Time
+	Kind                   ran.TaskKind
+	Lane                   int
+	Codeblocks             int
 }
 
 // DefaultFPGA returns an accelerator calibrated so offloaded LDPC work is
@@ -92,6 +108,12 @@ func (a *Accelerator) Submit(now sim.Time, kind ran.TaskKind, codeblocks int) (s
 	done := start + proc
 	a.laneFree[best] = done
 	a.Busy += proc
+	if a.Probe != nil {
+		a.Probe(OffloadRecord{
+			Submitted: now, Start: start, Done: done,
+			Kind: kind, Lane: best, Codeblocks: codeblocks,
+		})
+	}
 	return done, nil
 }
 

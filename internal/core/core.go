@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 
 	"concordia/internal/accel"
@@ -21,6 +22,7 @@ import (
 	"concordia/internal/rng"
 	"concordia/internal/scheduler"
 	"concordia/internal/sim"
+	"concordia/internal/telemetry"
 	"concordia/internal/traffic"
 	"concordia/internal/workloads"
 )
@@ -80,6 +82,11 @@ type Config struct {
 	// Ablation disables individual Concordia mechanisms for the ablation
 	// study; the zero value is the full system.
 	Ablation Ablation
+	// Telemetry, when non-nil, records the structured event trace and metrics
+	// time series for the run (internal/telemetry); export with the System's
+	// WriteChromeTrace / WriteMetricsCSV. Nil (the default) disables telemetry
+	// at near-zero cost.
+	Telemetry *telemetry.Recorder
 }
 
 // Ablation switches off individual Concordia mechanisms so their
@@ -181,6 +188,11 @@ type System struct {
 	cfg        Config
 	pool       *pool.Pool
 	Predictors pool.PredictorSet
+
+	workload *workloads.Schedule
+	// ranFor is the duration of the last Run, bounding the workload-span
+	// timeline in trace exports.
+	ranFor sim.Time
 }
 
 // Profile generates the offline training dataset (§4.2): TTIs with
@@ -296,6 +308,21 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Ablation.NoOnlineAdaptation {
 		preds = frozenPredictors{inner: preds}
 	}
+	if cfg.Telemetry != nil {
+		// Observe every policy decision (periodic ticks and completion-
+		// boundary re-evaluations alike) through the transparent decorator.
+		m := cfg.Telemetry.Metrics
+		decisions := m.Counter("sched_decisions")
+		escalations := m.Counter("sched_critical_escalations")
+		coresHist := m.Histogram("sched_cores_decided", coreDecisionBuckets(cfg.PoolCores))
+		sched = scheduler.Instrumented{Inner: sched, Observe: func(d scheduler.Decision) {
+			decisions.Inc()
+			coresHist.Observe(float64(d.Cores))
+			if d.Critical {
+				escalations.Inc()
+			}
+		}}
+	}
 	var ulSrc, dlSrc traffic.Source
 	if cfg.ULTrace != nil {
 		ulSrc, err = traffic.NewReplayer(cfg.ULTrace, cfg.TraceScale)
@@ -329,16 +356,61 @@ func NewSystem(cfg Config) (*System, error) {
 		Accel:             dev,
 		IncludeMAC:        cfg.IncludeMAC,
 		StaticPartition:   cfg.Scheduler == SchedFlexRAN,
+		Telemetry:         cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &System{cfg: cfg, pool: p, Predictors: set}, nil
+	return &System{cfg: cfg, pool: p, Predictors: set, workload: wl}, nil
+}
+
+// coreDecisionBuckets builds histogram bounds 0..poolCores, one bucket per
+// possible core target.
+func coreDecisionBuckets(poolCores int) []float64 {
+	b := make([]float64, poolCores+1)
+	for i := range b {
+		b[i] = float64(i)
+	}
+	return b
 }
 
 // Run executes the deployment for the given duration.
 func (s *System) Run(duration sim.Time) *pool.Report {
+	s.ranFor = duration
 	return s.pool.Run(duration)
+}
+
+// Telemetry returns the recorder the system was configured with (nil when
+// telemetry is disabled).
+func (s *System) Telemetry() *telemetry.Recorder { return s.cfg.Telemetry }
+
+// WriteChromeTrace exports the last run's event trace as Chrome trace-event
+// JSON (Perfetto-loadable): one process for the pool with a thread per core,
+// one for the accelerator, one for the collocated-workload timeline.
+func (s *System) WriteChromeTrace(w io.Writer) error {
+	rec := s.cfg.Telemetry
+	if rec == nil {
+		return errors.New("core: telemetry not enabled")
+	}
+	meta := telemetry.ChromeTraceMeta{
+		Process: "vran-pool/" + string(s.cfg.Scheduler),
+		Cores:   s.cfg.PoolCores,
+	}
+	for _, span := range s.workload.Spans(s.ranFor) {
+		meta.Workloads = append(meta.Workloads, telemetry.WorkloadSpan{
+			Name: span.Kind.String(), From: span.From, To: span.To,
+		})
+	}
+	return telemetry.WriteChromeTrace(w, rec.Trace, meta)
+}
+
+// WriteMetricsCSV exports the last run's metrics time series as CSV.
+func (s *System) WriteMetricsCSV(w io.Writer) error {
+	rec := s.cfg.Telemetry
+	if rec == nil {
+		return errors.New("core: telemetry not enabled")
+	}
+	return rec.Metrics.WriteMetricsCSV(w)
 }
 
 // MinimumCores searches for the smallest pool size that meets the deadline

@@ -19,6 +19,7 @@ import (
 	"concordia/internal/rng"
 	"concordia/internal/scheduler"
 	"concordia/internal/sim"
+	"concordia/internal/telemetry"
 	"concordia/internal/traffic"
 	"concordia/internal/workloads"
 )
@@ -117,6 +118,11 @@ type Config struct {
 	// the effect behind Fig 4b's deadline violations. Concordia runs with a
 	// global pool (false).
 	StaticPartition bool
+	// Telemetry, when non-nil, records the structured event trace and the
+	// metrics time series (internal/telemetry). Nil — the default — takes
+	// the no-op path: every instrumentation site reduces to one predictable
+	// branch, keeping the hot loop within noise of the uninstrumented pool.
+	Telemetry *telemetry.Recorder
 }
 
 func (c *Config) validate() error {
@@ -169,6 +175,9 @@ type dagRun struct {
 	dag        *ran.DAG
 	tasks      []*task
 	unfinished int
+	// seq is the release sequence number, the stable identity telemetry
+	// events use to correlate a DAG's lifecycle across the trace.
+	seq int64
 	// remainingWork is the predicted work of not-yet-completed tasks,
 	// excluding progress on running ones (subtracted lazily at read time).
 	remainingWork sim.Time
@@ -265,6 +274,10 @@ type Pool struct {
 	// tasks on cold, workload-polluted caches.
 	churnEWMA      float64
 	eventsLastSlot uint64
+
+	// tel carries the pre-resolved telemetry handles; nil when disabled.
+	tel    *telemetryHooks
+	dagSeq int64
 }
 
 // New validates the configuration and builds the pool.
@@ -312,6 +325,10 @@ func New(cfg Config) (*Pool, error) {
 		queues: make([]readyQueue, nq),
 		report: newReport(cfg),
 	}
+	if cfg.Telemetry != nil {
+		p.tel = newTelemetryHooks(cfg.Telemetry)
+		p.tel.attach(p)
+	}
 	return p, nil
 }
 
@@ -325,6 +342,15 @@ func (p *Pool) Run(duration sim.Time) *Report {
 		// Phase-shift rotation off the slot grid so it observes the pool
 		// mid-slot rather than at the idle instant between TTIs.
 		sim.NewTicker(p.eng, p.cfg.RotatePeriod+p.cfg.RotatePeriod/7, p.cfg.RotatePeriod, p.onRotate)
+	}
+	if p.tel != nil {
+		// Metrics sampling: registered after the slot ticker so a sample at
+		// instant t observes the slot released at t.
+		period := p.tel.rec.SamplePeriod
+		if period <= 0 {
+			period = slotDur
+		}
+		sim.NewTicker(p.eng, 0, period, p.onSample)
 	}
 	p.eng.Run(duration)
 	p.accountCoreTime(p.eng.Now())
@@ -433,7 +459,8 @@ func (p *Pool) releaseDAG(d *ran.DAG) {
 	if d == nil {
 		return
 	}
-	run := &dagRun{dag: d, tasks: make([]*task, len(d.Tasks)), unfinished: len(d.Tasks)}
+	run := &dagRun{dag: d, tasks: make([]*task, len(d.Tasks)), unfinished: len(d.Tasks), seq: p.dagSeq}
+	p.dagSeq++
 	for _, n := range d.Tasks {
 		pred := p.predictTask(n)
 		run.tasks[n.ID] = &task{dag: run, node: n, predicted: pred, missing: len(n.Deps), heapIndex: -1}
@@ -454,6 +481,14 @@ func (p *Pool) releaseDAG(d *ran.DAG) {
 	p.dags = append(p.dags, run)
 	p.report.DAGsReleased++
 	now := p.eng.Now()
+	if p.tel != nil {
+		p.tel.cDAGsReleased.Inc()
+		p.tel.trc.Emit(telemetry.Event{
+			At: now, Kind: telemetry.EvDAGRelease,
+			Core: -1, Cell: int32(d.CellID), Slot: int32(d.Slot), Task: -1,
+			A: run.seq, B: int64(d.Dir),
+		})
+	}
 	for _, id := range d.Roots() {
 		p.enqueue(run.tasks[id], now)
 	}
@@ -502,11 +537,26 @@ func (p *Pool) readyTotal() int {
 	return n
 }
 
+// pushReady marks t ready at now and inserts it into its EDF queue. Every
+// heap insertion goes through here so the queueing-delay accounting and the
+// task_enqueue trace event cover all paths (roots, successors, rotation
+// handoffs).
+func (p *Pool) pushReady(t *task, now sim.Time) {
+	t.readyAt = now
+	heap.Push(&p.queues[p.queueIndex(t.node.CellID)], t)
+	if p.tel != nil {
+		p.tel.trc.Emit(telemetry.Event{
+			At: now, Kind: telemetry.EvTaskEnqueue,
+			Core: -1, Cell: int32(t.node.CellID), Slot: int32(t.dag.dag.Slot),
+			Task: int32(t.node.Kind), A: t.dag.seq,
+		})
+	}
+}
+
 // enqueue inserts a ready task and immediately dispatches if a RAN core is
 // idle.
 func (p *Pool) enqueue(t *task, now sim.Time) {
-	t.readyAt = now
-	heap.Push(&p.queues[p.queueIndex(t.node.CellID)], t)
+	p.pushReady(t, now)
 	p.dispatch(now)
 }
 
@@ -552,6 +602,16 @@ func (p *Pool) startTask(ci int, t *task, now sim.Time) {
 	c.task = t
 	t.running = true
 	t.started = now
+	if p.tel != nil {
+		delay := now - t.readyAt
+		p.report.observeQueueDelay(t.node.CellID, delay)
+		p.tel.hQueueUs.Observe(delay.Us())
+		p.tel.trc.Emit(telemetry.Event{
+			At: now, Kind: telemetry.EvTaskDispatch,
+			Core: int32(ci), Cell: int32(t.node.CellID), Slot: int32(t.dag.dag.Slot),
+			Task: int32(t.node.Kind), Dur: delay, A: t.dag.seq,
+		})
+	}
 	if p.cfg.Accel != nil && p.cfg.Accel.Offloads(t.node.Kind) {
 		dur := p.cfg.Accel.SubmitCost
 		c.busyEnd = now + dur
@@ -604,6 +664,15 @@ func (p *Pool) onOffloadDone(t *task) {
 		run.remainingWork = 0
 	}
 	p.report.observeTask(t.node.Kind, now-t.started)
+	if p.tel != nil {
+		p.tel.cTasks.Inc()
+		p.tel.hTaskUs.Observe((now - t.started).Us())
+		p.tel.trc.Emit(telemetry.Event{
+			At: now, Kind: telemetry.EvTaskComplete,
+			Core: -1, Cell: int32(t.node.CellID), Slot: int32(t.dag.dag.Slot),
+			Task: int32(t.node.Kind), Dur: now - t.started, A: run.seq,
+		})
+	}
 	if run.dropped {
 		return
 	}
@@ -611,8 +680,7 @@ func (p *Pool) onOffloadDone(t *task) {
 		st := run.tasks[sID]
 		st.missing--
 		if st.missing == 0 {
-			st.readyAt = now
-			heap.Push(&p.queues[p.queueIndex(st.node.CellID)], st)
+			p.pushReady(st, now)
 		}
 	}
 	if run.unfinished == 0 {
@@ -646,6 +714,15 @@ func (p *Pool) onTaskDone(ci int) {
 		p.cfg.Predict.Observe(t.node.Kind, t.node.Features, measured)
 	}
 	p.report.observeTask(t.node.Kind, measured)
+	if p.tel != nil {
+		p.tel.cTasks.Inc()
+		p.tel.hTaskUs.Observe(measured.Us())
+		p.tel.trc.Emit(telemetry.Event{
+			At: now, Kind: telemetry.EvTaskComplete,
+			Core: int32(ci), Cell: int32(t.node.CellID), Slot: int32(t.dag.dag.Slot),
+			Task: int32(t.node.Kind), Dur: measured, A: run.seq,
+		})
+	}
 
 	// Spawn successors (none for a dropped DAG: its data is gone).
 	var keep *task
@@ -660,8 +737,7 @@ func (p *Pool) onTaskDone(ci int) {
 			if keep == nil {
 				keep = st
 			} else {
-				st.readyAt = now
-				heap.Push(&p.queues[p.queueIndex(st.node.CellID)], st)
+				p.pushReady(st, now)
 			}
 		}
 	}
@@ -680,8 +756,7 @@ func (p *Pool) coreAfterTask(ci int, keep *task, now sim.Time) {
 		// Rotation drain: hand this core back regardless of target.
 		c.drain = false
 		if keep != nil {
-			keep.readyAt = now
-			heap.Push(&p.queues[p.queueIndex(keep.node.CellID)], keep)
+			p.pushReady(keep, now)
 		}
 		p.yieldCore(ci, now)
 		p.dispatch(now)
@@ -691,7 +766,9 @@ func (p *Pool) coreAfterTask(ci int, keep *task, now sim.Time) {
 	qi := p.coreQueue(ci)
 	switch {
 	case keep != nil:
-		// Cache locality: continue with one spawned successor directly.
+		// Cache locality: continue with one spawned successor directly. The
+		// task is ready the instant it starts, so its queueing delay is zero.
+		keep.readyAt = now
 		p.startTask(ci, keep, now)
 		p.dispatch(now)
 	case p.queues[qi].Len() > 0:
@@ -730,8 +807,26 @@ func (p *Pool) finishDAG(run *dagRun, now sim.Time) {
 		}
 	}
 	latency := now - run.dag.Release
-	p.report.observeDAG(run.dag.Dir, latency, latency > p.cfg.Deadline)
+	missed := latency > p.cfg.Deadline
+	p.report.observeDAG(run.dag.Dir, latency, missed)
 	p.report.observeDAGTimes(run.dag.Dir, run.cpuTime, run.offloadTime, latency)
+	p.report.observeCellDAG(run.dag.CellID, missed, false)
+	if p.tel != nil {
+		p.tel.cDAGsDone.Inc()
+		p.tel.trc.Emit(telemetry.Event{
+			At: now, Kind: telemetry.EvDAGComplete,
+			Core: -1, Cell: int32(run.dag.CellID), Slot: int32(run.dag.Slot), Task: -1,
+			Dur: latency, A: run.seq, B: int64(run.dag.Dir),
+		})
+		if missed {
+			p.tel.cMisses.Inc()
+			p.tel.trc.Emit(telemetry.Event{
+				At: now, Kind: telemetry.EvDeadlineMiss,
+				Core: -1, Cell: int32(run.dag.CellID), Slot: int32(run.dag.Slot), Task: -1,
+				Dur: latency, A: run.seq, B: int64(run.dag.Dir),
+			})
+		}
+	}
 }
 
 // schedulerState snapshots the pool for the scheduling policy.
@@ -798,6 +893,14 @@ func (p *Pool) onSchedulerTick(now sim.Time) {
 		p.dropExpired(now)
 	}
 	target := p.cfg.Scheduler.Cores(p.schedulerState(now))
+	if p.tel != nil && target != p.tel.lastTarget {
+		p.tel.trc.Emit(telemetry.Event{
+			At: now, Kind: telemetry.EvSchedDecision,
+			Core: int32(p.ranCores), Cell: -1, Slot: -1, Task: -1,
+			A: int64(p.tel.lastTarget), B: int64(target),
+		})
+		p.tel.lastTarget = target
+	}
 	p.applyTarget(target, now)
 }
 
@@ -823,6 +926,21 @@ func (p *Pool) dropExpired(now sim.Time) {
 		}
 		p.report.DAGsDropped++
 		p.report.observeDAG(run.dag.Dir, now-run.dag.Release, true)
+		p.report.observeCellDAG(run.dag.CellID, true, true)
+		if p.tel != nil {
+			p.tel.cDrops.Inc()
+			p.tel.cMisses.Inc()
+			p.tel.trc.Emit(telemetry.Event{
+				At: now, Kind: telemetry.EvDAGDrop,
+				Core: -1, Cell: int32(run.dag.CellID), Slot: int32(run.dag.Slot), Task: -1,
+				Dur: now - run.dag.Release, A: run.seq, B: int64(run.dag.Dir),
+			})
+			p.tel.trc.Emit(telemetry.Event{
+				At: now, Kind: telemetry.EvDeadlineMiss,
+				Core: -1, Cell: int32(run.dag.CellID), Slot: int32(run.dag.Slot), Task: -1,
+				Dur: now - run.dag.Release, A: run.seq, B: int64(run.dag.Dir),
+			})
+		}
 	}
 	p.dags = kept
 }
@@ -920,6 +1038,18 @@ func (p *Pool) acquireCore(ci int, now sim.Time) {
 		Retention:    retention,
 	})
 	p.report.observeWakeup(lat)
+	if p.tel != nil {
+		p.tel.cAcquires.Inc()
+		active := 0
+		if p.cfg.Workload != nil {
+			active = len(p.cfg.Workload.ActiveAt(now))
+		}
+		p.tel.trc.Emit(telemetry.Event{
+			At: now, Kind: telemetry.EvCoreAcquire,
+			Core: int32(ci), Cell: -1, Slot: -1, Task: -1,
+			A: int64(p.ranCores), B: int64(active),
+		})
+	}
 	c.wakeEv = p.eng.After(lat, func() { p.onCoreAwake(ci) })
 }
 
@@ -940,6 +1070,14 @@ func (p *Pool) onCoreAwake(ci int) {
 	c.wakeEv = nil
 	c.state = coreIdleRAN
 	c.idleSince = p.eng.Now()
+	if p.tel != nil {
+		wake := p.eng.Now() - c.wakeStart
+		p.tel.hWakeUs.Observe(wake.Us())
+		p.tel.trc.Emit(telemetry.Event{
+			At: p.eng.Now(), Kind: telemetry.EvCoreAwake,
+			Core: int32(ci), Cell: -1, Slot: -1, Task: -1, Dur: wake,
+		})
+	}
 	p.dispatch(p.eng.Now())
 }
 
@@ -954,6 +1092,14 @@ func (p *Pool) yieldCore(ci int, now sim.Time) {
 	c.state = coreBestEffort
 	p.ranCores--
 	p.report.SchedulingEvents++
+	if p.tel != nil {
+		p.tel.cYields.Inc()
+		p.tel.trc.Emit(telemetry.Event{
+			At: now, Kind: telemetry.EvCoreYield,
+			Core: int32(ci), Cell: -1, Slot: -1, Task: -1,
+			A: int64(p.ranCores),
+		})
+	}
 }
 
 // onRotate swaps one owned core for an unowned one (the 2 ms rotation that
@@ -972,7 +1118,7 @@ func (p *Pool) onRotate(now sim.Time) {
 		if bj := p.partnerCore(ci); bj >= 0 {
 			p.yieldCore(ci, now)
 			p.acquireCore(bj, now)
-			p.report.Rotations++
+			p.noteRotation(ci, bj, now)
 		}
 		return
 	}
@@ -984,7 +1130,7 @@ func (p *Pool) onRotate(now sim.Time) {
 			}
 			p.cores[i].drain = true
 			p.acquireCore(bj, now)
-			p.report.Rotations++
+			p.noteRotation(i, bj, now)
 			return
 		}
 	}
@@ -998,11 +1144,25 @@ func (p *Pool) onRotate(now sim.Time) {
 			}
 			p.yieldCore(i, now)
 			p.acquireCore(bj, now)
-			p.report.Rotations++
+			p.noteRotation(i, bj, now)
 			return
 		}
 	}
 	_ = bi
+}
+
+// noteRotation records one rotation swap (core from yielded, core to
+// acquired) in the report and the telemetry stream.
+func (p *Pool) noteRotation(from, to int, now sim.Time) {
+	p.report.Rotations++
+	if p.tel != nil {
+		p.tel.cRotations.Inc()
+		p.tel.trc.Emit(telemetry.Event{
+			At: now, Kind: telemetry.EvCoreRotate,
+			Core: int32(from), Cell: -1, Slot: -1, Task: -1,
+			A: int64(to),
+		})
+	}
 }
 
 // partnerCore returns a best-effort core that can replace core ci in a

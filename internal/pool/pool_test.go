@@ -10,6 +10,7 @@ import (
 	"concordia/internal/ran"
 	"concordia/internal/scheduler"
 	"concordia/internal/sim"
+	"concordia/internal/telemetry"
 	"concordia/internal/traffic"
 	"concordia/internal/workloads"
 )
@@ -420,5 +421,68 @@ func TestDropModeKeepsServingFreshSlots(t *testing.T) {
 	}
 	if r.Reliability() > 0.9999 {
 		t.Fatal("1-core overload cannot be this reliable")
+	}
+}
+
+// BenchmarkPoolRun measures one simulated second of the canonical test pool
+// with telemetry disabled (the production default) and enabled, so the
+// overhead of the nil-check fast path and of full recording can be compared
+// directly (EXPERIMENTS.md records the numbers).
+func BenchmarkPoolRun(b *testing.B) {
+	for _, mode := range []string{"telemetry=off", "telemetry=on"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := testConfig(scheduler.NewConcordia(), workloads.Redis, 42)
+				if mode == "telemetry=on" {
+					cfg.Telemetry = telemetry.New(telemetry.Options{})
+				}
+				p, err := New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = p.Run(sim.Second)
+			}
+		})
+	}
+}
+
+// TestTelemetryMatchesReport cross-checks the telemetry counters against the
+// report the pool has always produced: both observe the same simulation, so
+// they must agree exactly.
+func TestTelemetryMatchesReport(t *testing.T) {
+	rec := telemetry.New(telemetry.Options{})
+	cfg := testConfig(scheduler.NewConcordia(), workloads.Redis, 23)
+	cfg.Telemetry = rec
+	rep := run(t, cfg, 2*sim.Second)
+
+	m := rec.Metrics
+	if got, want := m.Counter("dags_released").Value(), rep.DAGsReleased; got != want {
+		t.Errorf("dags_released counter %d, report %d", got, want)
+	}
+	if got, want := m.Counter("dags_completed").Value(), rep.DAGsCompleted; got != want {
+		t.Errorf("dags_completed counter %d, report %d", got, want)
+	}
+	if got, want := m.Counter("deadline_misses").Value(), rep.Misses; got != want {
+		t.Errorf("deadline_misses counter %d, report %d", got, want)
+	}
+	if got, want := m.Counter("rotations").Value(), rep.Rotations; got != want {
+		t.Errorf("rotations counter %d, report %d", got, want)
+	}
+	var cellDAGs, cellObs uint64
+	for _, c := range rep.PerCell {
+		cellDAGs += c.DAGs
+		cellObs += c.QueueDelayObs
+	}
+	if cellDAGs != rep.DAGsCompleted {
+		t.Errorf("per-cell DAG sum %d, report completed %d", cellDAGs, rep.DAGsCompleted)
+	}
+	if cellObs == 0 {
+		t.Error("no queueing delays observed")
+	}
+	if rec.Trace.Len() == 0 {
+		t.Fatal("trace recorded no events")
+	}
+	if m.Samples() == 0 {
+		t.Fatal("no metrics samples recorded")
 	}
 }

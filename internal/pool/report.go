@@ -48,15 +48,59 @@ type Report struct {
 	MakespanUL, MakespanDL       sim.Time
 	CountUL, CountDL             uint64
 
+	// PerCell breaks deadline misses and queueing delay down by cell — the
+	// view that shows whether one overloaded cell is starving its neighbours
+	// (Fig 4b's failure mode) or the pool is spreading the pain evenly.
+	PerCell []CellStats
+
 	workloadCoreSeconds map[workloads.Kind]float64
 
 	poolCores int
 	workload  *workloads.Schedule
 }
 
+// CellStats is the per-cell reliability and queueing-delay breakdown.
+type CellStats struct {
+	Cell int
+	// DAGs counts completed (or dropped) DAG instances for the cell; Misses
+	// and Dropped are the subsets past deadline and abandoned respectively.
+	DAGs    uint64
+	Misses  uint64
+	Dropped uint64
+	// Queueing delay of the cell's tasks (ready-to-dispatch), microseconds.
+	// Populated only when telemetry is enabled — the per-dispatch observation
+	// rides the instrumented path so the disabled hot loop stays untouched.
+	// The sum is deterministic: the simulation loop observes tasks in virtual
+	// event order regardless of -workers.
+	QueueDelayObs   uint64
+	QueueDelaySumUs float64
+	QueueDelayMaxUs float64
+}
+
+// MissRate returns the cell's deadline-miss fraction.
+func (c CellStats) MissRate() float64 {
+	if c.DAGs == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.DAGs)
+}
+
+// AvgQueueDelayUs returns the cell's mean task queueing delay in µs.
+func (c CellStats) AvgQueueDelayUs() float64 {
+	if c.QueueDelayObs == 0 {
+		return 0
+	}
+	return c.QueueDelaySumUs / float64(c.QueueDelayObs)
+}
+
 func newReport(cfg Config) *Report {
 	r := rng.New(cfg.Seed ^ 0x5ee0)
+	perCell := make([]CellStats, len(cfg.Cells))
+	for i := range perCell {
+		perCell[i].Cell = i
+	}
 	return &Report{
+		PerCell:             perCell,
 		LatencyUL:           stats.NewTailRecorder(4096, 8192, r.Intn),
 		LatencyDL:           stats.NewTailRecorder(4096, 8192, r.Intn),
 		Latency:             stats.NewTailRecorder(4096, 8192, r.Intn),
@@ -79,6 +123,36 @@ func (r *Report) observeDAG(dir ran.SlotDir, latency sim.Time, missed bool) {
 		r.LatencyUL.Observe(us)
 	} else {
 		r.LatencyDL.Observe(us)
+	}
+}
+
+// observeCellDAG records one finished or dropped DAG against its cell.
+func (r *Report) observeCellDAG(cell int, missed, dropped bool) {
+	if cell < 0 || cell >= len(r.PerCell) {
+		return
+	}
+	c := &r.PerCell[cell]
+	c.DAGs++
+	if missed {
+		c.Misses++
+	}
+	if dropped {
+		c.Dropped++
+	}
+}
+
+// observeQueueDelay records one task's ready-to-dispatch delay against its
+// cell.
+func (r *Report) observeQueueDelay(cell int, delay sim.Time) {
+	if cell < 0 || cell >= len(r.PerCell) {
+		return
+	}
+	c := &r.PerCell[cell]
+	us := delay.Us()
+	c.QueueDelayObs++
+	c.QueueDelaySumUs += us
+	if us > c.QueueDelayMaxUs {
+		c.QueueDelayMaxUs = us
 	}
 }
 
@@ -242,5 +316,17 @@ func (r *Report) String() string {
 		100*r.RANUtilization(), 100*r.OwnedUtilization())
 	fmt.Fprintf(&sb, "sched events    %d (%.2f per ms), %d preemptions, %d rotations\n",
 		r.SchedulingEvents, r.CoreChurnPerMs(), r.Preemptions, r.Rotations)
+	return sb.String()
+}
+
+// PerCellString renders the per-cell deadline and queueing-delay table.
+func (r *Report) PerCellString() string {
+	var sb strings.Builder
+	sb.WriteString("cell   dags     misses  dropped  miss%     qdelay avg/max us\n")
+	for _, c := range r.PerCell {
+		fmt.Fprintf(&sb, "%-6d %-8d %-7d %-8d %-9.5f %.1f / %.1f\n",
+			c.Cell, c.DAGs, c.Misses, c.Dropped, 100*c.MissRate(),
+			c.AvgQueueDelayUs(), c.QueueDelayMaxUs)
+	}
 	return sb.String()
 }

@@ -1,0 +1,124 @@
+package pool
+
+import (
+	"concordia/internal/accel"
+	"concordia/internal/sim"
+	"concordia/internal/telemetry"
+)
+
+// telemetryHooks pre-resolves every metric handle the pool's hot paths touch
+// so an instrumentation site is one nil check plus direct field increments —
+// no map lookups inside the simulation loop. A nil *telemetryHooks (the
+// default) disables telemetry entirely.
+type telemetryHooks struct {
+	rec *telemetry.Recorder
+	trc *telemetry.Tracer
+
+	cSimEvents    *telemetry.Counter
+	cTasks        *telemetry.Counter
+	cDAGsReleased *telemetry.Counter
+	cDAGsDone     *telemetry.Counter
+	cMisses       *telemetry.Counter
+	cDrops        *telemetry.Counter
+	cAcquires     *telemetry.Counter
+	cYields       *telemetry.Counter
+	cRotations    *telemetry.Counter
+	cOffloads     *telemetry.Counter
+
+	hQueueUs *telemetry.Histogram
+	hTaskUs  *telemetry.Histogram
+	hWakeUs  *telemetry.Histogram
+
+	gRANCores    *telemetry.Gauge
+	gBusyCores   *telemetry.Gauge
+	gReady       *telemetry.Gauge
+	gInflight    *telemetry.Gauge
+	gInterf      *telemetry.Gauge
+	gPendingPeak *telemetry.Gauge
+
+	// lastTarget dedups scheduler-decision events: the 20 µs tick emits only
+	// when the core target changes, not 50 000 times per second.
+	lastTarget int
+	// pendingPeak is the engine event-queue high-water mark since the last
+	// metrics sample (fed by the sim.Engine probe).
+	pendingPeak int
+}
+
+func newTelemetryHooks(rec *telemetry.Recorder) *telemetryHooks {
+	m := rec.Metrics
+	return &telemetryHooks{
+		rec: rec,
+		trc: rec.Trace,
+
+		cSimEvents:    m.Counter("sim_events"),
+		cTasks:        m.Counter("tasks_completed"),
+		cDAGsReleased: m.Counter("dags_released"),
+		cDAGsDone:     m.Counter("dags_completed"),
+		cMisses:       m.Counter("deadline_misses"),
+		cDrops:        m.Counter("dags_dropped"),
+		cAcquires:     m.Counter("core_acquires"),
+		cYields:       m.Counter("core_yields"),
+		cRotations:    m.Counter("rotations"),
+		cOffloads:     m.Counter("offloads"),
+
+		hQueueUs: m.Histogram("queue_delay_us", telemetry.DefaultLatencyBucketsUs),
+		hTaskUs:  m.Histogram("task_runtime_us", telemetry.DefaultLatencyBucketsUs),
+		hWakeUs:  m.Histogram("wakeup_us", telemetry.DefaultLatencyBucketsUs),
+
+		gRANCores:    m.Gauge("ran_cores"),
+		gBusyCores:   m.Gauge("busy_cores"),
+		gReady:       m.Gauge("ready_tasks"),
+		gInflight:    m.Gauge("inflight_dags"),
+		gInterf:      m.Gauge("interference"),
+		gPendingPeak: m.Gauge("sim_pending_peak"),
+
+		lastTarget: -1,
+	}
+}
+
+// attach installs the engine and accelerator probes. Called once from New
+// when telemetry is enabled.
+func (t *telemetryHooks) attach(p *Pool) {
+	p.eng.SetProbe(func(at sim.Time, pending int) {
+		t.cSimEvents.Inc()
+		if pending > t.pendingPeak {
+			t.pendingPeak = pending
+		}
+	})
+	if p.cfg.Accel != nil {
+		p.cfg.Accel.Probe = func(r accel.OffloadRecord) {
+			t.cOffloads.Inc()
+			t.trc.Emit(telemetry.Event{
+				At: r.Start, Kind: telemetry.EvOffloadSpan,
+				Core: -1, Cell: -1, Slot: -1, Task: int32(r.Kind),
+				Dur: r.Done - r.Start, A: int64(r.Lane), B: int64(r.Codeblocks),
+			})
+		}
+	}
+}
+
+// onSample records one metrics time-series row and the interference counter
+// event. Driven by a per-slot (or Options.SamplePeriod) sim ticker.
+func (p *Pool) onSample(now sim.Time) {
+	t := p.tel
+	busy := 0
+	for i := range p.cores {
+		if p.cores[i].state == coreBusyRAN {
+			busy++
+		}
+	}
+	t.gRANCores.Set(float64(p.ranCores))
+	t.gBusyCores.Set(float64(busy))
+	t.gReady.Set(float64(p.readyTotal()))
+	t.gInflight.Set(float64(len(p.dags)))
+	interf := p.interferenceBase()
+	t.gInterf.Set(interf)
+	t.gPendingPeak.Set(float64(t.pendingPeak))
+	t.pendingPeak = 0
+	t.rec.Metrics.Sample(now)
+	t.trc.Emit(telemetry.Event{
+		At: now, Kind: telemetry.EvInterference,
+		Core: -1, Cell: -1, Slot: -1, Task: -1,
+		A: int64(interf*1000 + 0.5),
+	})
+}

@@ -1,0 +1,48 @@
+package scheduler
+
+import "concordia/internal/sim"
+
+// Decision describes one core-allocation decision for observers: when it was
+// made, by which policy, what it saw, and what it chose.
+type Decision struct {
+	Now    sim.Time
+	Policy string
+	// Cores is the chosen target.
+	Cores int
+	// Critical reports a Concordia critical-stage escalation (always false
+	// for the baselines, which have no notion of a critical stage).
+	Critical bool
+	// DAGs is the number of in-flight DAGs at the decision point.
+	DAGs int
+}
+
+// Instrumented wraps a policy so every Cores call is reported to Observe
+// before the decision is returned. The wrapper is transparent: Name,
+// Interval and CompensatesWakeups forward to the inner policy, so the pool
+// treats an instrumented scheduler exactly like the bare one.
+type Instrumented struct {
+	Inner   Scheduler
+	Observe func(Decision)
+}
+
+// Name implements Scheduler.
+func (i Instrumented) Name() string { return i.Inner.Name() }
+
+// Interval implements Scheduler.
+func (i Instrumented) Interval() sim.Time { return i.Inner.Interval() }
+
+// CompensatesWakeups implements Scheduler.
+func (i Instrumented) CompensatesWakeups() bool { return i.Inner.CompensatesWakeups() }
+
+// Cores implements Scheduler, reporting the decision to the observer.
+func (i Instrumented) Cores(s PoolState) int {
+	n := i.Inner.Cores(s)
+	if i.Observe != nil {
+		critical := false
+		if c, ok := i.Inner.(*Concordia); ok && n == s.TotalCores && len(s.DAGs) > 0 {
+			critical = c.Critical(s)
+		}
+		i.Observe(Decision{Now: s.Now, Policy: i.Inner.Name(), Cores: n, Critical: critical, DAGs: len(s.DAGs)})
+	}
+	return n
+}

@@ -123,7 +123,7 @@ func (c *Concordia) Cores(s PoolState) int {
 		}
 		slack := d.Deadline - s.Now
 		l := d.RemainingCriticalPath
-		if slack <= sim.Time(float64(l)*(1+c.CriticalFactor)) {
+		if c.dagCritical(d, s.Now) {
 			// Critical stage: all cores, evict best-effort work.
 			return s.TotalCores
 		}
@@ -154,6 +154,24 @@ func (c *Concordia) Cores(s PoolState) int {
 		total = s.TotalCores
 	}
 	return total
+}
+
+// dagCritical reports whether one DAG is inside its critical stage: the
+// remaining slack no longer exceeds (1+κ) times the predicted critical path.
+func (c *Concordia) dagCritical(d DAGState, now sim.Time) bool {
+	return d.Deadline-now <= sim.Time(float64(d.RemainingCriticalPath)*(1+c.CriticalFactor))
+}
+
+// Critical reports whether any in-flight DAG is in its critical stage — the
+// condition under which Cores escalates to the full pool and evicts all
+// best-effort work. Telemetry uses it to count escalation decisions.
+func (c *Concordia) Critical(s PoolState) bool {
+	for _, d := range s.DAGs {
+		if d.RemainingWork > 0 && c.dagCritical(d, s.Now) {
+			return true
+		}
+	}
+	return false
 }
 
 // FlexRAN is the vanilla baseline: the queue-driven worker model that

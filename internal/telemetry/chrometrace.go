@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"concordia/internal/ran"
+	"concordia/internal/sim"
+)
+
+// ChromeTraceMeta describes the run being exported so the trace viewer can
+// label its tracks.
+type ChromeTraceMeta struct {
+	// Process names the pool process row (default "vran-pool").
+	Process string
+	// Cores is the pool core count; one viewer thread per core.
+	Cores int
+	// Workloads lists collocated best-effort activity intervals, rendered as
+	// spans on a separate process row.
+	Workloads []WorkloadSpan
+}
+
+// WorkloadSpan is one interval during which a named workload was active.
+type WorkloadSpan struct {
+	Name     string
+	From, To sim.Time
+}
+
+// Trace-viewer process/thread layout: the pool's cores are threads of pid 1
+// (tid 0 is the scheduler/control track), accelerator lanes are threads of
+// pid 2, workloads are threads of pid 3.
+const (
+	pidPool     = 1
+	pidAccel    = 2
+	pidWorkload = 3
+	tidSched    = 0
+)
+
+// traceEvent is one Chrome trace-event object. Field order and omitempty
+// choices are part of the exported byte format; do not reorder.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	ID    *int64         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object trace container format.
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+func us(t sim.Time) float64 { return t.Us() }
+
+func durp(d sim.Time) *float64 {
+	v := d.Us()
+	return &v
+}
+
+func idp(v int64) *int64 { return &v }
+
+func taskName(task int32) string {
+	if task < 0 || task >= int32(ran.NumTaskKinds) {
+		return "task"
+	}
+	return ran.TaskKind(task).String()
+}
+
+func dirName(dir int64) string { return ran.SlotDir(dir).String() }
+
+// metaEvent builds a process_name/thread_name metadata record.
+func metaEvent(name string, pid, tid int, value string) traceEvent {
+	return traceEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": value}}
+}
+
+// WriteChromeTrace exports the tracer's retained events as Chrome
+// trace-event JSON (the "JSON object format" with a traceEvents array),
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. One process
+// per pool with one thread per core; task executions are complete ("X")
+// spans, scheduler decisions and the interference index are counter ("C")
+// tracks, deadline misses and core transitions are instants ("i"), DAG
+// lifetimes are async ("b"/"e") spans keyed by the DAG sequence number, and
+// accelerator requests are spans on the device's lane threads.
+func WriteChromeTrace(w io.Writer, t *Tracer, meta ChromeTraceMeta) error {
+	if meta.Process == "" {
+		meta.Process = "vran-pool"
+	}
+	events := t.Events()
+	out := make([]traceEvent, 0, len(events)+2*meta.Cores+8)
+
+	// Track metadata first: process and thread names.
+	out = append(out,
+		metaEvent("process_name", pidPool, 0, meta.Process),
+		metaEvent("thread_name", pidPool, tidSched, "scheduler"),
+	)
+	for c := 0; c < meta.Cores; c++ {
+		out = append(out, metaEvent("thread_name", pidPool, c+1, "core "+strconv.Itoa(c)))
+	}
+
+	haveAccel := false
+	for _, ev := range events {
+		out = append(out, convertEvent(ev)...)
+		if ev.Kind == EvOffloadSpan {
+			haveAccel = true
+		}
+	}
+	if haveAccel {
+		out = append(out, metaEvent("process_name", pidAccel, 0, "accelerator"))
+	}
+	if len(meta.Workloads) > 0 {
+		out = append(out, metaEvent("process_name", pidWorkload, 0, "workloads"))
+		names := map[string]int{}
+		for _, span := range meta.Workloads {
+			tid, ok := names[span.Name]
+			if !ok {
+				tid = len(names) + 1
+				names[span.Name] = tid
+				out = append(out, metaEvent("thread_name", pidWorkload, tid, span.Name))
+			}
+			out = append(out, traceEvent{
+				Name: span.Name, Cat: "workload", Ph: "X",
+				Ts: us(span.From), Dur: durp(span.To - span.From),
+				Pid: pidWorkload, Tid: tid,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ns"})
+}
+
+// convertEvent maps one telemetry event to zero or more trace events.
+func convertEvent(ev Event) []traceEvent {
+	switch ev.Kind {
+	case EvTaskComplete:
+		// Span drawn backwards from completion: At-Dur .. At on the core's
+		// thread (core tids are offset by one past the scheduler track).
+		return []traceEvent{{
+			Name: taskName(ev.Task), Cat: "task", Ph: "X",
+			Ts: us(ev.At - ev.Dur), Dur: durp(ev.Dur),
+			Pid: pidPool, Tid: int(ev.Core) + 1,
+			Args: map[string]any{"cell": ev.Cell, "slot": ev.Slot, "dag": ev.A},
+		}}
+	case EvOffloadSpan:
+		return []traceEvent{{
+			Name: taskName(ev.Task), Cat: "offload", Ph: "X",
+			Ts: us(ev.At), Dur: durp(ev.Dur),
+			Pid: pidAccel, Tid: int(ev.A) + 1,
+			Args: map[string]any{"codeblocks": ev.B},
+		}}
+	case EvDAGRelease:
+		return []traceEvent{{
+			Name: "dag " + dirName(ev.B), Cat: "dag", Ph: "b",
+			Ts: us(ev.At), Pid: pidPool, Tid: tidSched, ID: idp(ev.A),
+			Args: map[string]any{"cell": ev.Cell, "slot": ev.Slot},
+		}}
+	case EvDAGComplete, EvDAGDrop:
+		return []traceEvent{{
+			Name: "dag " + dirName(ev.B), Cat: "dag", Ph: "e",
+			Ts: us(ev.At), Pid: pidPool, Tid: tidSched, ID: idp(ev.A),
+		}}
+	case EvDeadlineMiss:
+		return []traceEvent{{
+			Name: "deadline_miss", Cat: "deadline", Ph: "i",
+			Ts: us(ev.At), Pid: pidPool, Tid: tidSched, Scope: "p",
+			Args: map[string]any{"cell": ev.Cell, "slot": ev.Slot, "latency_us": ev.Dur.Us()},
+		}}
+	case EvSchedDecision:
+		return []traceEvent{{
+			Name: "ran_cores", Ph: "C", Ts: us(ev.At), Pid: pidPool, Tid: tidSched,
+			Args: map[string]any{"target": ev.B, "owned": ev.Core},
+		}}
+	case EvInterference:
+		return []traceEvent{{
+			Name: "interference", Ph: "C", Ts: us(ev.At), Pid: pidPool, Tid: tidSched,
+			Args: map[string]any{"index": float64(ev.A) / 1000},
+		}}
+	case EvCoreAcquire:
+		return []traceEvent{{
+			Name: "acquire", Cat: "core", Ph: "i",
+			Ts: us(ev.At), Pid: pidPool, Tid: int(ev.Core) + 1, Scope: "t",
+		}}
+	case EvCoreAwake:
+		return []traceEvent{{
+			Name: "awake", Cat: "core", Ph: "i",
+			Ts: us(ev.At), Pid: pidPool, Tid: int(ev.Core) + 1, Scope: "t",
+			Args: map[string]any{"wakeup_us": ev.Dur.Us()},
+		}}
+	case EvCoreYield:
+		return []traceEvent{{
+			Name: "yield", Cat: "core", Ph: "i",
+			Ts: us(ev.At), Pid: pidPool, Tid: int(ev.Core) + 1, Scope: "t",
+		}}
+	case EvCoreRotate:
+		return []traceEvent{{
+			Name: "rotate", Cat: "core", Ph: "i",
+			Ts: us(ev.At), Pid: pidPool, Tid: int(ev.Core) + 1, Scope: "t",
+			Args: map[string]any{"to": ev.A},
+		}}
+	default:
+		// Enqueue/dispatch are metrics-level events; they would double the
+		// span count without adding viewer value.
+		return nil
+	}
+}
+

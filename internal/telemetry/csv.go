@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// formatFloat renders v with the shortest round-trip representation, the
+// same formatting encoding/json uses, so CSV and JSON exports of the same
+// value agree byte-for-byte.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteMetricsCSV exports the registry's sampled time series as CSV: a
+// time_us column followed by every sampled metric in sorted name order, one
+// row per Sample call. Metrics registered after a sample was taken appear as
+// empty cells in the earlier rows, so the column set is the sorted union
+// across all rows and the bytes are run-order independent.
+func (r *Registry) WriteMetricsCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cols := map[string]bool{}
+	if r != nil {
+		for _, row := range r.rows {
+			for name := range row.vals {
+				cols[name] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(cols))
+	for name := range cols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	bw.WriteString("time_us")
+	for _, name := range names {
+		bw.WriteByte(',')
+		bw.WriteString(name)
+	}
+	bw.WriteByte('\n')
+	if r != nil {
+		for _, row := range r.rows {
+			bw.WriteString(formatFloat(row.at.Us()))
+			for _, name := range names {
+				bw.WriteByte(',')
+				if v, ok := row.vals[name]; ok {
+					bw.WriteString(formatFloat(v))
+				}
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSnapshotCSV exports the final value of every metric as name,value
+// rows in sorted name order (histograms expand to _count/_sum/_le_* series).
+func (r *Registry) WriteSnapshotCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("metric,value\n")
+	for _, mv := range r.Snapshot() {
+		bw.WriteString(mv.Name)
+		bw.WriteByte(',')
+		bw.WriteString(formatFloat(mv.Value))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// WriteEventsCSV exports the tracer's retained events as CSV
+// (time_us,kind,core,cell,slot,task,dur_us,a,b) in emission order.
+func (t *Tracer) WriteEventsCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("time_us,kind,core,cell,slot,task,dur_us,a,b\n")
+	for _, ev := range t.Events() {
+		bw.WriteString(formatFloat(ev.At.Us()))
+		bw.WriteByte(',')
+		bw.WriteString(ev.Kind.String())
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatInt(int64(ev.Core), 10))
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatInt(int64(ev.Cell), 10))
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatInt(int64(ev.Slot), 10))
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatInt(int64(ev.Task), 10))
+		bw.WriteByte(',')
+		bw.WriteString(formatFloat(ev.Dur.Us()))
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatInt(ev.A, 10))
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatInt(ev.B, 10))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"concordia/internal/sim"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time value.
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram buckets samples into fixed upper-bound ranges. The bounds are
+// fixed at registration (no adaptive resizing), which is what makes the
+// exported bucket set — and therefore the output bytes — independent of the
+// sample stream's order.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []uint64  // len(bounds)+1
+	total  uint64
+	sum    float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.total++
+	h.sum += v
+}
+
+// Total returns the number of observed samples.
+func (h *Histogram) Total() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total
+}
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Buckets returns (upper bound, count) pairs in ascending bound order; the
+// final pair has Inf=true and holds the overflow count.
+func (h *Histogram) Buckets() []HistBucket {
+	if h == nil {
+		return nil
+	}
+	out := make([]HistBucket, len(h.counts))
+	for i, c := range h.counts {
+		if i < len(h.bounds) {
+			out[i] = HistBucket{Le: h.bounds[i], Count: c}
+		} else {
+			out[i] = HistBucket{Inf: true, Count: c}
+		}
+	}
+	return out
+}
+
+// HistBucket is one histogram range: samples <= Le (or the +Inf overflow).
+type HistBucket struct {
+	Le    float64
+	Inf   bool
+	Count uint64
+}
+
+// DefaultLatencyBucketsUs is the standard microsecond bucket ladder used for
+// queueing-delay, runtime and wakeup histograms.
+var DefaultLatencyBucketsUs = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+
+// Registry owns named metrics and the sampled time series. Registration is
+// idempotent (Counter("x") twice returns the same counter) and all iteration
+// — snapshots, CSV export — is in sorted name order, so output is
+// byte-identical across runs regardless of registration order.
+//
+// A nil *Registry is valid: lookups return nil metrics whose methods are
+// no-ops, and Sample does nothing.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	rows     []sampleRow
+}
+
+type sampleRow struct {
+	at   sim.Time
+	vals map[string]float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given upper
+// bounds on first use (bounds are sorted defensively; later calls may pass
+// nil). Panics if bounds are empty at creation.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		if len(bounds) == 0 {
+			panic(fmt.Sprintf("telemetry: histogram %q registered without bounds", name))
+		}
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Sample appends one time-series row holding the current value of every
+// registered counter and gauge, stamped with virtual time at.
+func (r *Registry) Sample(at sim.Time) {
+	if r == nil {
+		return
+	}
+	vals := make(map[string]float64, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		vals[name] = float64(c.v)
+	}
+	for name, g := range r.gauges {
+		vals[name] = g.v
+	}
+	r.rows = append(r.rows, sampleRow{at: at, vals: vals})
+}
+
+// Samples returns the number of time-series rows recorded.
+func (r *Registry) Samples() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.rows)
+}
+
+// MetricValue is one named value in a registry snapshot.
+type MetricValue struct {
+	Name  string
+	Value float64
+}
+
+// sortedKeys returns m's keys in sorted order (the maporder-sanctioned
+// iteration pattern).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot returns the final value of every metric, sorted by name.
+// Histograms expand to name_count, name_sum and cumulative name_le_<bound>
+// series (with name_le_inf for the overflow bucket).
+func (r *Registry) Snapshot() []MetricValue {
+	if r == nil {
+		return nil
+	}
+	out := make([]MetricValue, 0, len(r.counters)+len(r.gauges)+4*len(r.hists))
+	for _, name := range sortedKeys(r.counters) {
+		out = append(out, MetricValue{Name: name, Value: float64(r.counters[name].v)})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		out = append(out, MetricValue{Name: name, Value: r.gauges[name].v})
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		out = append(out, MetricValue{Name: name + "_count", Value: float64(h.total)})
+		out = append(out, MetricValue{Name: name + "_sum", Value: h.sum})
+		cum := uint64(0)
+		for _, b := range h.Buckets() {
+			cum += b.Count
+			if b.Inf {
+				out = append(out, MetricValue{Name: name + "_le_inf", Value: float64(cum)})
+			} else {
+				out = append(out, MetricValue{Name: fmt.Sprintf("%s_le_%g", name, b.Le), Value: float64(cum)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -197,6 +197,59 @@ func (s *Schedule) ActiveAt(t sim.Time) []Kind {
 	}
 }
 
+// Span is one interval during which a workload was active, used by the
+// telemetry exporters to render the collocation timeline.
+type Span struct {
+	Kind     Kind
+	From, To sim.Time
+}
+
+// Spans returns the activity intervals of every workload over [0, until),
+// ordered by workload (MixMembers order for Mix) and then by start time.
+// Concrete kinds yield one full-horizon span; Mix merges its per-second
+// segments into maximal on-intervals per member.
+func (s *Schedule) Spans(until sim.Time) []Span {
+	if s == nil || s.kind == None || until <= 0 {
+		return nil
+	}
+	if s.kind != Mix {
+		return []Span{{Kind: s.kind, From: 0, To: until}}
+	}
+	var out []Span
+	for _, k := range MixMembers {
+		open := -1 // index into out of the span being extended
+		for _, seg := range s.segments {
+			if seg.until <= 0 {
+				continue
+			}
+			from := seg.until - sim.Second
+			if from >= until {
+				break
+			}
+			active := false
+			for _, a := range seg.active {
+				if a == k {
+					active = true
+					break
+				}
+			}
+			switch {
+			case active && open < 0:
+				out = append(out, Span{Kind: k, From: from, To: seg.until})
+				open = len(out) - 1
+			case active:
+				out[open].To = seg.until
+			default:
+				open = -1
+			}
+		}
+		if open >= 0 && out[open].To > until {
+			out[open].To = until
+		}
+	}
+	return out
+}
+
 // InterferenceAt returns the combined cache-pressure index at time t:
 // the strongest active workload plus diminishing contributions from the
 // rest, clamped to 1.

@@ -171,3 +171,61 @@ func BenchmarkInterferenceAt(b *testing.B) {
 		_ = s.InterferenceAt(sim.Time(i%600) * sim.Second)
 	}
 }
+
+func TestSpans(t *testing.T) {
+	// Nil schedule and None produce no spans; a concrete kind covers the
+	// whole horizon as one span.
+	var nilSched *Schedule
+	if got := nilSched.Spans(sim.Second); got != nil {
+		t.Fatalf("nil schedule spans = %v", got)
+	}
+	if got := NewSchedule(None, 10*sim.Second, 1).Spans(sim.Second); got != nil {
+		t.Fatalf("None spans = %v", got)
+	}
+	redis := NewSchedule(Redis, 10*sim.Second, 1).Spans(3 * sim.Second)
+	if len(redis) != 1 || redis[0].Kind != Redis || redis[0].From != 0 || redis[0].To != 3*sim.Second {
+		t.Fatalf("Redis spans = %v", redis)
+	}
+
+	// Mix: spans must agree with ActiveAt at every probe point, be clamped
+	// to the horizon, and be maximal (no two adjacent spans of one kind).
+	horizon := 200 * sim.Second
+	s := NewSchedule(Mix, horizon, 7)
+	until := 150 * sim.Second
+	spans := s.Spans(until)
+	if len(spans) == 0 {
+		t.Fatal("mix produced no spans")
+	}
+	covered := func(k Kind, at sim.Time) bool {
+		for _, sp := range spans {
+			if sp.Kind == k && at >= sp.From && at < sp.To {
+				return true
+			}
+		}
+		return false
+	}
+	for _, sp := range spans {
+		if sp.To > until || sp.From < 0 || sp.From >= sp.To {
+			t.Fatalf("span out of range: %+v", sp)
+		}
+	}
+	for at := sim.Time(sim.Second / 2); at < until; at += sim.Second {
+		active := map[Kind]bool{}
+		for _, k := range s.ActiveAt(at) {
+			active[k] = true
+		}
+		for _, k := range MixMembers {
+			if active[k] != covered(k, at) {
+				t.Fatalf("at %v: ActiveAt says %v active=%v, spans say %v", at, k, active[k], covered(k, at))
+			}
+		}
+	}
+	// Maximality: per kind, consecutive spans must not touch.
+	last := map[Kind]sim.Time{}
+	for _, sp := range spans {
+		if prev, ok := last[sp.Kind]; ok && sp.From <= prev {
+			t.Fatalf("non-maximal or unordered spans for %v: from %v after end %v", sp.Kind, sp.From, prev)
+		}
+		last[sp.Kind] = sp.To
+	}
+}

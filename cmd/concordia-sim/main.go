@@ -56,6 +56,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write the run's Chrome trace-event JSON (Perfetto) to this file")
 	metricsOut := flag.String("metrics", "", "write the run's metrics time series CSV to this file")
 	perCell := flag.Bool("per-cell", false, "print the per-cell deadline-miss and queueing-delay breakdown")
+	faultsSpec := flag.String("faults", "", `deterministic fault injection spec, e.g. "lane=0.05,stuck=0.01,burst=5" or "all" (see internal/faults)`)
+	dropLate := flag.Bool("drop-late", false, "abandon DAGs whose deadline has passed (counted as dropped misses)")
 	flag.Parse()
 
 	var cfg concordia.Config
@@ -86,6 +88,17 @@ func main() {
 	}
 	cfg.Workload = wl
 	cfg.IncludeMAC = *includeMAC
+	cfg.DropLateDAGs = *dropLate
+	if *faultsSpec != "" {
+		fc, err := concordia.ParseFaults(*faultsSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+		if fc.Enabled() {
+			cfg.Faults = &fc
+		}
+	}
 	// -per-cell needs the instrumented path too: queueing delays are observed
 	// per dispatch only when telemetry is on.
 	if *traceOut != "" || *metricsOut != "" || *perCell {

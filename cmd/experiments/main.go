@@ -68,6 +68,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write raw data series as <dir>/<name>.csv where supported")
 	traceOut := flag.String("trace", "", "capture the canonical scenario's Chrome trace-event JSON (Perfetto) to this file and exit")
 	metricsOut := flag.String("metrics", "", "capture the canonical scenario's metrics time-series CSV to this file and exit")
+	faultsSpec := flag.String("faults", "", `run the chaos study with this fault spec ("sweep" for the per-class ladder) and exit`)
 	flag.Parse()
 
 	if *list {
@@ -81,6 +82,32 @@ func main() {
 		if err := captureTelemetry(o, *traceOut, *metricsOut); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
+		}
+		return
+	}
+	if *faultsSpec != "" {
+		res, err := experiments.RunChaos(o, *faultsSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, "chaos.csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			err = experiments.WriteCSV(res, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 		return
 	}

@@ -25,6 +25,7 @@ package concordia
 
 import (
 	"concordia/internal/core"
+	"concordia/internal/faults"
 	"concordia/internal/pool"
 	"concordia/internal/ran"
 	"concordia/internal/sim"
@@ -54,6 +55,12 @@ type (
 	Telemetry = telemetry.Recorder
 	// TelemetryOptions configures trace capacity and metrics sampling.
 	TelemetryOptions = telemetry.Options
+	// FaultsConfig enables the deterministic chaos injector: lane failures,
+	// stuck offloads, WCET overruns, interference bursts, core-yield storms,
+	// and late/dropped fronthaul. Attach via Config.Faults; build from a
+	// "class=rate,..." spec with ParseFaults. A nil or all-zero config leaves
+	// every run byte-identical to a fault-free one.
+	FaultsConfig = faults.Config
 )
 
 // Scheduling policies.
@@ -88,6 +95,11 @@ func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
 // NewTelemetry returns an enabled telemetry recorder. The zero Options value
 // selects the defaults (256 Ki event ring, one metrics sample per slot).
 func NewTelemetry(opts TelemetryOptions) *Telemetry { return telemetry.New(opts) }
+
+// ParseFaults builds a fault-injection config from a comma-separated spec,
+// e.g. "lane=0.05,stuck=0.01,burst=5" or the "all" preset. An empty spec
+// returns the zero (disabled) config.
+func ParseFaults(spec string) (FaultsConfig, error) { return faults.Parse(spec) }
 
 // Scenario20MHz returns the paper's 7×20 MHz FDD deployment preset
 // (2 ms slot deadline). Adjust cells/cores as needed.

@@ -73,8 +73,22 @@ func (a *Accelerator) Offloads(kind ran.TaskKind) bool {
 // ErrNotOffloadable is returned for task kinds the device does not handle.
 var ErrNotOffloadable = errors.New("accel: task kind not offloadable")
 
+// ErrNoLanes is returned by Submit when the device has no processing lanes
+// (a zero-value or misconfigured Accelerator). Callers recover by executing
+// on the CPU instead; previously this indexed an empty lane table and
+// panicked.
+var ErrNoLanes = errors.New("accel: accelerator has no processing lanes")
+
+// ErrInvalidRate is returned by Submit when PerCodeblock is non-positive: a
+// zero or negative processing rate would complete requests instantly or in
+// the past, wedging or panicking the discrete-event engine downstream.
+var ErrInvalidRate = errors.New("accel: non-positive per-codeblock processing time")
+
 // processing returns the device time for one request.
 func (a *Accelerator) processing(kind ran.TaskKind, codeblocks int) (sim.Time, error) {
+	if a.PerCodeblock <= 0 {
+		return 0, ErrInvalidRate
+	}
 	if codeblocks < 1 {
 		codeblocks = 1
 	}
@@ -89,11 +103,20 @@ func (a *Accelerator) processing(kind ran.TaskKind, codeblocks int) (sim.Time, e
 }
 
 // Submit enqueues a request at time now and returns its completion time.
-// The request takes the earliest-free lane (FIFO per lane).
+// The request takes the earliest-free lane (FIFO per lane). A device with no
+// usable lanes or a non-positive processing rate returns a typed error
+// (ErrNoLanes, ErrInvalidRate) so the pool can fall back to CPU execution.
 func (a *Accelerator) Submit(now sim.Time, kind ran.TaskKind, codeblocks int) (sim.Time, error) {
 	proc, err := a.processing(kind, codeblocks)
 	if err != nil {
 		return 0, err
+	}
+	if a.Lanes <= 0 {
+		return 0, ErrNoLanes
+	}
+	if len(a.laneFree) == 0 {
+		// Struct-literal construction bypassed New; size the lane table now.
+		a.laneFree = make([]sim.Time, a.Lanes)
 	}
 	best := 0
 	for i := 1; i < len(a.laneFree); i++ {

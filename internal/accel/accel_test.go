@@ -95,3 +95,49 @@ func BenchmarkSubmit(b *testing.B) {
 		_, _ = a.Submit(sim.Time(i)*sim.Microsecond, ran.TaskLDPCDecode, 5)
 	}
 }
+
+// Regression: a struct-literal accelerator with zero lanes used to index an
+// empty lane table in Submit and panic; it must return ErrNoLanes instead.
+func TestSubmitZeroLanesTypedError(t *testing.T) {
+	a := &Accelerator{Lanes: 0, PerCodeblock: sim.FromUs(10), SubmitCost: sim.FromUs(1)}
+	if _, err := a.Submit(0, ran.TaskLDPCDecode, 2); err != ErrNoLanes {
+		t.Fatalf("got %v want ErrNoLanes", err)
+	}
+}
+
+// Regression: a non-positive PerCodeblock produced zero-or-negative device
+// times (instant completions, or completion times in the past that panic the
+// event engine); Submit must reject it with ErrInvalidRate.
+func TestSubmitInvalidRateTypedError(t *testing.T) {
+	for _, per := range []sim.Time{0, -sim.FromUs(5)} {
+		a := &Accelerator{Lanes: 2, PerCodeblock: per, SubmitCost: sim.FromUs(1)}
+		if _, err := a.Submit(0, ran.TaskLDPCDecode, 2); err != ErrInvalidRate {
+			t.Fatalf("PerCodeblock=%v: got %v want ErrInvalidRate", per, err)
+		}
+	}
+}
+
+// A struct-literal accelerator with valid lanes but no New() call must work:
+// Submit sizes the lane table lazily.
+func TestSubmitStructLiteralLazyLanes(t *testing.T) {
+	a := &Accelerator{Lanes: 2, PerCodeblock: sim.FromUs(10), SubmitCost: sim.FromUs(1)}
+	d1, err := a.Submit(0, ran.TaskLDPCDecode, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := a.Submit(0, ran.TaskLDPCDecode, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != sim.FromUs(10) || d2 != sim.FromUs(10) {
+		t.Fatalf("two requests must run on parallel lanes: %v %v", d1, d2)
+	}
+}
+
+// Expected mirrors Submit's validity checks: an unusable device predicts 0.
+func TestExpectedInvalidRate(t *testing.T) {
+	a := &Accelerator{Lanes: 2, PerCodeblock: 0}
+	if got := a.Expected(ran.TaskLDPCDecode, 4); got != 0 {
+		t.Fatalf("Expected on invalid device = %v, want 0", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"concordia/internal/accel"
 	"concordia/internal/costmodel"
+	"concordia/internal/faults"
 	"concordia/internal/parallel"
 	"concordia/internal/platform"
 	"concordia/internal/pool"
@@ -87,6 +88,15 @@ type Config struct {
 	// WriteChromeTrace / WriteMetricsCSV. Nil (the default) disables telemetry
 	// at near-zero cost.
 	Telemetry *telemetry.Recorder
+	// Faults, when non-nil with positive rates, enables the deterministic
+	// chaos injector (internal/faults): lane failures, stuck offloads, WCET
+	// overruns, interference bursts, core-yield storms, and late/dropped
+	// fronthaul. Nil or all-zero leaves every output byte-identical.
+	Faults *faults.Config
+	// DropLateDAGs abandons a DAG's remaining work once its deadline passes
+	// (counted as a dropped miss). Chaos runs enable it so one faulted slot
+	// cannot cascade into its successors.
+	DropLateDAGs bool
 }
 
 // Ablation switches off individual Concordia mechanisms so their
@@ -357,6 +367,8 @@ func NewSystem(cfg Config) (*System, error) {
 		IncludeMAC:        cfg.IncludeMAC,
 		StaticPartition:   cfg.Scheduler == SchedFlexRAN,
 		Telemetry:         cfg.Telemetry,
+		Faults:            cfg.Faults,
+		DropLateDAGs:      cfg.DropLateDAGs,
 	})
 	if err != nil {
 		return nil, err

@@ -175,6 +175,8 @@ func RunCSV(name string, o Options, w io.Writer) error {
 		res, err = RunFig15Deadline(o)
 	case "ablation":
 		res, err = RunAblation(o)
+	case "chaos":
+		res, err = RunChaos(o, "sweep")
 	default:
 		return fmt.Errorf("experiments: %q has no CSV form", name)
 	}

@@ -450,3 +450,48 @@ func TestCSVExport(t *testing.T) {
 		t.Fatal("unknown CSV experiment accepted")
 	}
 }
+
+func TestChaos(t *testing.T) {
+	r, err := RunChaos(quick(t), "sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1+7*3 {
+		t.Fatalf("sweep rows %d, want baseline + 7 classes x 3 levels", len(r.Rows))
+	}
+	if r.Rows[0].Class != "none" || r.Rows[0].Injected != 0 {
+		t.Fatalf("baseline row corrupted: %+v", r.Rows[0])
+	}
+	for _, row := range r.Rows[1:] {
+		if row.Injected == 0 {
+			t.Errorf("%s/%s (%s): no faults injected", row.Class, row.Level, row.Spec)
+		}
+		if row.Reliability <= 0 || row.Reliability > 1 {
+			t.Errorf("%s/%s: reliability %v out of range", row.Class, row.Level, row.Reliability)
+		}
+	}
+	if !strings.Contains(r.String(), "Chaos") {
+		t.Error("missing header")
+	}
+	header, rows := r.CSV()
+	if len(header) != 8 || len(rows) != len(r.Rows) {
+		t.Fatalf("CSV shape %dx%d", len(header), len(rows))
+	}
+}
+
+func TestChaosCustomSpec(t *testing.T) {
+	r, err := RunChaos(quick(t), "lane=0.2,stuck=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("custom spec rows %d, want baseline + custom", len(r.Rows))
+	}
+	custom := r.Rows[1]
+	if custom.Class != "custom" || custom.Injected == 0 {
+		t.Fatalf("custom run injected nothing: %+v", custom)
+	}
+	if _, err := RunChaos(quick(t), "bogus=1"); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"concordia/internal/accel"
 	"concordia/internal/costmodel"
+	"concordia/internal/faults"
 	"concordia/internal/platform"
 	"concordia/internal/predictor"
 	"concordia/internal/ran"
@@ -123,6 +124,14 @@ type Config struct {
 	// the no-op path: every instrumentation site reduces to one predictable
 	// branch, keeping the hot loop within noise of the uninstrumented pool.
 	Telemetry *telemetry.Recorder
+	// Faults, when non-nil with positive rates, attaches the deterministic
+	// chaos injector (internal/faults): accelerator lane failures and stuck
+	// offloads (recovered by a virtual-time watchdog with bounded retries),
+	// WCET overruns, interference bursts, core-yield storms, and late or
+	// dropped fronthaul arrivals. The injector is seeded from Seed through
+	// its own substream — it never touches the pool's RNG — so a nil or
+	// all-zero config leaves every existing output byte-identical.
+	Faults *faults.Config
 }
 
 func (c *Config) validate() error {
@@ -168,6 +177,10 @@ type task struct {
 	tailCP    sim.Time // predicted longest path from this task to a sink
 	missing   int      // unfinished dependencies
 	heapIndex int
+	// retries counts offload re-submissions after stuck-offload timeouts;
+	// noOffload forces the CPU path once the retry budget is exhausted.
+	retries   int
+	noOffload bool
 }
 
 // dagRun tracks one released DAG instance.
@@ -219,6 +232,9 @@ func (q *readyQueue) Pop() any {
 	t := old[n-1]
 	old[n-1] = nil
 	*q = old[:n-1]
+	// Restore the not-in-heap invariant so later membership checks
+	// (dropExpired, abandonDAG) never act on a stale index.
+	t.heapIndex = -1
 	return t
 }
 
@@ -278,6 +294,10 @@ type Pool struct {
 	// tel carries the pre-resolved telemetry handles; nil when disabled.
 	tel    *telemetryHooks
 	dagSeq int64
+
+	// flt is the deterministic fault injector; nil unless Config.Faults has
+	// at least one positive rate, so fault-free runs pay one nil check.
+	flt *faults.Injector
 }
 
 // New validates the configuration and builds the pool.
@@ -325,8 +345,15 @@ func New(cfg Config) (*Pool, error) {
 		queues: make([]readyQueue, nq),
 		report: newReport(cfg),
 	}
+	if cfg.Faults != nil {
+		// The injector derives its seed as a pure substream of the pool seed:
+		// nothing is consumed from root, so enabling faults never perturbs
+		// traffic, allocation, or cost-model sampling streams.
+		p.flt = faults.NewInjector(*cfg.Faults, rng.SubstreamSeed(cfg.Seed, 0xfa5e))
+		p.report.FaultsEnabled = p.flt != nil
+	}
 	if cfg.Telemetry != nil {
-		p.tel = newTelemetryHooks(cfg.Telemetry)
+		p.tel = newTelemetryHooks(cfg.Telemetry, p.flt != nil)
 		p.tel.attach(p)
 	}
 	return p, nil
@@ -354,6 +381,17 @@ func (p *Pool) Run(duration sim.Time) *Report {
 	}
 	p.eng.Run(duration)
 	p.accountCoreTime(p.eng.Now())
+	if p.flt != nil {
+		s := p.flt.Stats()
+		f := &p.report.Faults
+		f.LaneFailures = s.LaneFailures
+		f.StuckOffloads = s.StuckOffloads
+		f.Overruns = s.Overruns
+		f.Bursts = s.Bursts
+		f.Storms = s.Storms
+		f.FronthaulLate = s.FronthaulLate
+		f.FronthaulDropped = s.FronthaulDropped
+	}
 	p.report.finish(duration, p.cfg)
 	return p.report
 }
@@ -400,19 +438,41 @@ func (p *Pool) onSlot(now sim.Time) {
 			}
 			p.releaseDAG(ran.BuildMACDAG(cell, p.slotIndex, now, now+slotDur, ues))
 		}
+		// Fronthaul faults act on the cell's PHY data for this TTI (the MAC
+		// above schedules from its own state and is unaffected). The DAGs are
+		// still built on a drop so the allocation RNG stream stays aligned
+		// with the fault-free schedule; the data simply never arrives.
+		release := p.releaseDAG
+		if p.flt != nil {
+			if delay, drop := p.flt.Fronthaul(int64(i), int64(p.slotIndex)); drop {
+				p.faultTrace(now, faults.FronthaulDrop, int32(i), int32(p.slotIndex), -1, -1, 0)
+				release = func(d *ran.DAG) {}
+			} else if delay > 0 {
+				// Late arrival: the DAG keeps its on-time release stamp and
+				// deadline (the radio doesn't wait), but admission — and so
+				// every prediction and enqueue — happens delay later.
+				p.faultTrace(now, faults.FronthaulLate, int32(i), int32(p.slotIndex), -1, -1, delay)
+				release = func(d *ran.DAG) {
+					if d == nil {
+						return
+					}
+					p.eng.After(delay, func() { p.releaseDAG(d) })
+				}
+			}
+		}
 		switch {
 		case cell.Duplex == ran.FDD:
-			p.releaseDAG(buildDir(cell, p.slotIndex, now, deadline, ran.Uplink, ulBytes[i], p.rand))
-			p.releaseDAG(buildDir(cell, p.slotIndex, now, deadline, ran.Downlink, dlBytes[i], p.rand))
+			release(buildDir(cell, p.slotIndex, now, deadline, ran.Uplink, ulBytes[i], p.rand))
+			release(buildDir(cell, p.slotIndex, now, deadline, ran.Downlink, dlBytes[i], p.rand))
 		default:
 			switch cell.SlotDir(p.slotIndex) {
 			case ran.Uplink:
-				p.releaseDAG(buildDir(cell, p.slotIndex, now, deadline, ran.Uplink, ulBytes[i], p.rand))
+				release(buildDir(cell, p.slotIndex, now, deadline, ran.Uplink, ulBytes[i], p.rand))
 			case ran.Downlink:
-				p.releaseDAG(buildDir(cell, p.slotIndex, now, deadline, ran.Downlink, dlBytes[i], p.rand))
+				release(buildDir(cell, p.slotIndex, now, deadline, ran.Downlink, dlBytes[i], p.rand))
 			case ran.Special:
 				// Special slots carry guard symbols plus reduced downlink.
-				p.releaseDAG(buildDir(cell, p.slotIndex, now, deadline, ran.Downlink, dlBytes[i]/2, p.rand))
+				release(buildDir(cell, p.slotIndex, now, deadline, ran.Downlink, dlBytes[i]/2, p.rand))
 			}
 		}
 	}
@@ -612,17 +672,43 @@ func (p *Pool) startTask(ci int, t *task, now sim.Time) {
 			Task: int32(t.node.Kind), Dur: delay, A: t.dag.seq,
 		})
 	}
-	if p.cfg.Accel != nil && p.cfg.Accel.Offloads(t.node.Kind) {
+	if p.cfg.Accel != nil && !t.noOffload && p.cfg.Accel.Offloads(t.node.Kind) {
 		dur := p.cfg.Accel.SubmitCost
 		c.busyEnd = now + dur
 		c.doneEv = p.eng.After(dur, func() { p.onOffloadSubmitted(ci) })
 		p.report.TasksExecuted++
 		return
 	}
-	dur := p.cfg.CostModel.Sample(t.node.Kind, t.node.Features, p.env())
+	dur := p.taskDuration(t, now)
 	c.busyEnd = now + dur
 	c.doneEv = p.eng.After(dur, func() { p.onTaskDone(ci) })
 	p.report.TasksExecuted++
+}
+
+// taskDuration samples t's software execution time, applying any injected
+// WCET overrun. The overrun decision is keyed on the task's identity, not
+// the attempt, so a task that overruns keeps overrunning on retry — it
+// models a mispredicted input, not transient noise.
+func (p *Pool) taskDuration(t *task, now sim.Time) sim.Time {
+	dur := p.cfg.CostModel.Sample(t.node.Kind, t.node.Features, p.env())
+	if p.flt != nil {
+		if factor, ok := p.flt.Overrun(t.dag.seq, int64(t.node.ID)); ok {
+			extra := sim.Time(float64(dur) * (factor - 1))
+			dur += extra
+			p.taskFault(now, faults.TaskOverrun, t, extra)
+		}
+	}
+	return dur
+}
+
+// execOnCore runs t's software path on core ci — the CPU-fallback branch
+// for offloads that were rejected, failed, or timed out.
+func (p *Pool) execOnCore(ci int, t *task, now sim.Time) {
+	c := &p.cores[ci]
+	dur := p.taskDuration(t, now)
+	c.task = t
+	c.busyEnd = now + dur
+	c.doneEv = p.eng.After(dur, func() { p.onTaskDone(ci) })
 }
 
 // onOffloadSubmitted hands the core's current task to the accelerator and
@@ -636,19 +722,117 @@ func (p *Pool) onOffloadSubmitted(ci int) {
 	c.doneEv = nil
 	run := t.dag
 	run.cpuTime += p.cfg.Accel.SubmitCost
+	if p.flt != nil && p.flt.LaneFails(run.seq, int64(t.node.ID), t.retries) {
+		// Injected lane failure: the device rejects the transfer outright.
+		// Recover immediately by executing in software on this core.
+		p.report.Faults.CPUFallbacks++
+		p.taskFault(now, faults.LaneFailure, t, 0)
+		p.taskRecover(now, faults.LaneFailure, recoverCPUFallback, t)
+		p.execOnCore(ci, t, now)
+		return
+	}
+	if p.flt != nil && p.flt.OffloadStuck(run.seq, int64(t.node.ID), t.retries) {
+		// Injected stuck offload: the request vanishes inside the device and
+		// no completion will ever fire. A virtual-time watchdog detects the
+		// loss; the core moves on in the meantime.
+		timeout := p.flt.StuckTimeout()
+		p.taskFault(now, faults.StuckOffload, t, timeout)
+		p.eng.After(timeout, func() { p.onOffloadTimeout(t) })
+		p.coreAfterTask(ci, nil, now)
+		return
+	}
 	cbs := int(t.node.Features.Get(ran.FCodeblocks))
 	done, err := p.cfg.Accel.Submit(now, t.node.Kind, cbs)
 	if err != nil {
-		// Not offloadable after all: execute on this core instead.
-		dur := p.cfg.CostModel.Sample(t.node.Kind, t.node.Features, p.env())
-		c.task = t
-		c.busyEnd = now + dur
-		c.doneEv = p.eng.After(dur, func() { p.onTaskDone(ci) })
+		// Not offloadable after all (wrong kind, no lanes, invalid rate):
+		// execute on this core instead.
+		if p.flt != nil {
+			p.report.Faults.CPUFallbacks++
+			p.taskRecover(now, faults.LaneFailure, recoverCPUFallback, t)
+		}
+		p.execOnCore(ci, t, now)
 		return
 	}
 	run.offloadTime += done - now
 	p.eng.At(done, func() { p.onOffloadDone(t) })
 	p.coreAfterTask(ci, nil, now)
+}
+
+// onOffloadTimeout fires the stuck-offload watchdog: the submitted request
+// is declared lost. The task retries (with deterministic virtual-time
+// backoff) while its bounded retry budget lasts; after that it is pinned to
+// the CPU path, and if its DAG is already past deadline by then the DAG is
+// abandoned and counted rather than left to wedge the pool.
+func (p *Pool) onOffloadTimeout(t *task) {
+	if t.done || t.dag.dropped {
+		return
+	}
+	now := p.eng.Now()
+	run := t.dag
+	p.report.Faults.OffloadTimeouts++
+	t.running = false
+	t.retries++
+	if t.retries > p.flt.MaxRetries() {
+		t.noOffload = true
+		if now > run.dag.Deadline {
+			p.taskRecover(now, faults.StuckOffload, recoverAbandon, t)
+			p.abandonDAG(run, now)
+			return
+		}
+		p.report.Faults.CPUFallbacks++
+		p.taskRecover(now, faults.StuckOffload, recoverCPUFallback, t)
+	} else {
+		p.report.Faults.OffloadRetries++
+		p.taskRecover(now, faults.StuckOffload, recoverOffloadRetry, t)
+	}
+	p.eng.After(p.flt.Backoff(t.retries), func() {
+		if t.done || t.dag.dropped {
+			return
+		}
+		p.pushReady(t, p.eng.Now())
+		p.dispatch(p.eng.Now())
+	})
+}
+
+// abandonDAG gives up on a DAG whose recovery path ran out of road:
+// remaining queued tasks are removed, the slot is recorded as a dropped
+// miss, and the DAG leaves the in-flight set so one dead offload cannot
+// wedge the pool. Mirrors dropExpired for a single DAG.
+func (p *Pool) abandonDAG(run *dagRun, now sim.Time) {
+	run.dropped = true
+	for _, t := range run.tasks {
+		if t.done || t.running {
+			continue
+		}
+		if t.heapIndex >= 0 {
+			heap.Remove(&p.queues[p.queueIndex(t.node.CellID)], t.heapIndex)
+		}
+		t.done = true
+	}
+	for i, d := range p.dags {
+		if d == run {
+			p.dags = append(p.dags[:i], p.dags[i+1:]...)
+			break
+		}
+	}
+	p.report.Faults.AbandonedDAGs++
+	p.report.DAGsDropped++
+	p.report.observeDAG(run.dag.Dir, now-run.dag.Release, true)
+	p.report.observeCellDAG(run.dag.CellID, true, true)
+	if p.tel != nil {
+		p.tel.cDrops.Inc()
+		p.tel.cMisses.Inc()
+		p.tel.trc.Emit(telemetry.Event{
+			At: now, Kind: telemetry.EvDAGDrop,
+			Core: -1, Cell: int32(run.dag.CellID), Slot: int32(run.dag.Slot), Task: -1,
+			Dur: now - run.dag.Release, A: run.seq, B: int64(run.dag.Dir),
+		})
+		p.tel.trc.Emit(telemetry.Event{
+			At: now, Kind: telemetry.EvDeadlineMiss,
+			Core: -1, Cell: int32(run.dag.CellID), Slot: int32(run.dag.Slot), Task: -1,
+			Dur: now - run.dag.Release, A: run.seq, B: int64(run.dag.Dir),
+		})
+	}
 }
 
 // onOffloadDone completes an accelerator task: DAG bookkeeping and
@@ -795,7 +979,28 @@ func (p *Pool) coreAfterTask(ci int, keep *task, now sim.Time) {
 // current state (used at completion boundaries; the periodic tick applies
 // it too).
 func (p *Pool) currentTarget() int {
-	return p.cfg.Scheduler.Cores(p.schedulerState(p.eng.Now()))
+	now := p.eng.Now()
+	target := p.cfg.Scheduler.Cores(p.schedulerState(now))
+	if avail := p.stormAvail(now); target > avail {
+		target = avail
+	}
+	return target
+}
+
+// stormAvail returns how many pool cores the RAN may own right now: all of
+// them normally, fewer during an injected core-yield storm (the host yanks
+// cores back for its own work; at least one always remains).
+func (p *Pool) stormAvail(now sim.Time) int {
+	avail := p.cfg.PoolCores
+	if p.flt != nil {
+		if stolen := p.flt.StolenCores(now, p.cfg.PoolCores); stolen > 0 {
+			avail -= stolen
+			if avail < 1 {
+				avail = 1
+			}
+		}
+	}
+	return avail
 }
 
 // finishDAG records slot-processing latency and reliability accounting.
@@ -954,6 +1159,10 @@ func (p *Pool) applyTarget(target int, now sim.Time) {
 	if target > p.cfg.PoolCores {
 		target = p.cfg.PoolCores
 	}
+	stormAvail := p.stormAvail(now)
+	if target > stormAvail {
+		target = stormAvail
+	}
 	stuck := 0
 	if p.cfg.Scheduler.CompensatesWakeups() {
 		threshold := 2 * p.cfg.Scheduler.Interval()
@@ -978,6 +1187,34 @@ func (p *Pool) applyTarget(target int, now sim.Time) {
 		}
 		p.yieldCore(ci, now)
 	}
+	// Yield storm: the host is yanking cores back right now, so surplus
+	// non-busy cores go immediately, hysteresis notwithstanding (busy cores
+	// drain at task completion through the storm-clamped currentTarget).
+	for p.ranCores > stormAvail {
+		ci := p.stormYieldCandidate()
+		if ci < 0 {
+			break
+		}
+		p.yieldCore(ci, now)
+		p.report.Faults.StormYields++
+		p.recoverTrace(now, faults.YieldStorm, recoverStormYield, -1, -1, -1)
+	}
+}
+
+// stormYieldCandidate prefers idle cores, then waking ones; busy cores are
+// never interrupted mid-task.
+func (p *Pool) stormYieldCandidate() int {
+	for i := range p.cores {
+		if p.cores[i].state == coreIdleRAN {
+			return i
+		}
+	}
+	for i := range p.cores {
+		if p.cores[i].state == coreWaking {
+			return i
+		}
+	}
+	return -1
 }
 
 // releasableNonStuckCore prefers idle cores that have lingered past the
@@ -1056,10 +1293,14 @@ func (p *Pool) acquireCore(ci int, now sim.Time) {
 // interferenceBase is the workload pressure unscaled by core share (kernel
 // noise follows the machine-wide workload, not the RAN's share).
 func (p *Pool) interferenceBase() float64 {
-	if p.cfg.Workload == nil {
-		return 0
+	base := 0.0
+	if p.cfg.Workload != nil {
+		base = p.cfg.Workload.InterferenceAt(p.eng.Now())
 	}
-	return p.cfg.Workload.InterferenceAt(p.eng.Now())
+	if p.flt != nil {
+		base = workloads.CombineInterference(base, p.flt.BurstInterference(p.eng.Now()))
+	}
+	return base
 }
 
 func (p *Pool) onCoreAwake(ci int) {

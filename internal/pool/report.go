@@ -53,10 +53,49 @@ type Report struct {
 	// (Fig 4b's failure mode) or the pool is spreading the pain evenly.
 	PerCell []CellStats
 
+	// Faults aggregates chaos-run accounting: injected faults per class plus
+	// the recovery actions the pool took. All-zero when no injector is
+	// attached; FaultsEnabled gates the report section so fault-free output
+	// stays byte-identical to a build without fault injection.
+	Faults        FaultStats
+	FaultsEnabled bool
+
 	workloadCoreSeconds map[workloads.Kind]float64
 
 	poolCores int
 	workload  *workloads.Schedule
+}
+
+// FaultStats counts injected faults and the pool's recovery actions during a
+// chaos run (internal/faults). Injection counts come from the injector at
+// the end of the run; recovery counts accumulate at the recovery sites.
+type FaultStats struct {
+	// Injected faults, per class.
+	LaneFailures     uint64
+	StuckOffloads    uint64
+	Overruns         uint64
+	Bursts           uint64
+	Storms           uint64
+	FronthaulLate    uint64
+	FronthaulDropped uint64
+	// Recovery actions.
+	OffloadTimeouts uint64 // stuck-offload watchdog firings
+	OffloadRetries  uint64 // offload re-submissions after a timeout
+	CPUFallbacks    uint64 // offloadable tasks recovered on a CPU core
+	StormYields     uint64 // cores yanked by yield storms
+	AbandonedDAGs   uint64 // DAGs abandoned after exhausted retries past deadline
+}
+
+// Injected sums all injected faults.
+func (f FaultStats) Injected() uint64 {
+	return f.LaneFailures + f.StuckOffloads + f.Overruns + f.Bursts +
+		f.Storms + f.FronthaulLate + f.FronthaulDropped
+}
+
+// Recoveries sums all recovery actions.
+func (f FaultStats) Recoveries() uint64 {
+	return f.OffloadTimeouts + f.OffloadRetries + f.CPUFallbacks +
+		f.StormYields + f.AbandonedDAGs
 }
 
 // CellStats is the per-cell reliability and queueing-delay breakdown.
@@ -291,7 +330,13 @@ func (r *Report) WorkloadThroughput(k workloads.Kind) float64 {
 	if cs <= 0 {
 		return 0
 	}
-	preemptRate := float64(r.Preemptions) / r.BestEffortCoreSeconds
+	// Guard the preemption-rate division: a run that granted no best-effort
+	// core-time (or an empty report) would otherwise produce NaN here and
+	// propagate it into CSV/metrics exports.
+	preemptRate := 0.0
+	if r.BestEffortCoreSeconds > 0 {
+		preemptRate = float64(r.Preemptions) / r.BestEffortCoreSeconds
+	}
 	return p.Throughput(cs, workloads.Disruption(preemptRate))
 }
 
@@ -316,6 +361,14 @@ func (r *Report) String() string {
 		100*r.RANUtilization(), 100*r.OwnedUtilization())
 	fmt.Fprintf(&sb, "sched events    %d (%.2f per ms), %d preemptions, %d rotations\n",
 		r.SchedulingEvents, r.CoreChurnPerMs(), r.Preemptions, r.Rotations)
+	if r.FaultsEnabled {
+		f := r.Faults
+		fmt.Fprintf(&sb, "faults          %d injected (%d lane, %d stuck, %d overrun, %d burst, %d storm, %d late, %d dropped-fh)\n",
+			f.Injected(), f.LaneFailures, f.StuckOffloads, f.Overruns,
+			f.Bursts, f.Storms, f.FronthaulLate, f.FronthaulDropped)
+		fmt.Fprintf(&sb, "recovery        %d timeouts, %d retries, %d cpu fallbacks, %d storm yields, %d dags abandoned\n",
+			f.OffloadTimeouts, f.OffloadRetries, f.CPUFallbacks, f.StormYields, f.AbandonedDAGs)
+	}
 	return sb.String()
 }
 

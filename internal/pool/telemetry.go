@@ -2,6 +2,7 @@ package pool
 
 import (
 	"concordia/internal/accel"
+	"concordia/internal/faults"
 	"concordia/internal/sim"
 	"concordia/internal/telemetry"
 )
@@ -25,6 +26,11 @@ type telemetryHooks struct {
 	cRotations    *telemetry.Counter
 	cOffloads     *telemetry.Counter
 
+	// Fault counters exist only when the injector is enabled, so fault-free
+	// runs export byte-identical metrics CSVs (columns are registry-driven).
+	cFaults   *telemetry.Counter
+	cRecovers *telemetry.Counter
+
 	hQueueUs *telemetry.Histogram
 	hTaskUs  *telemetry.Histogram
 	hWakeUs  *telemetry.Histogram
@@ -44,9 +50,9 @@ type telemetryHooks struct {
 	pendingPeak int
 }
 
-func newTelemetryHooks(rec *telemetry.Recorder) *telemetryHooks {
+func newTelemetryHooks(rec *telemetry.Recorder, faultsEnabled bool) *telemetryHooks {
 	m := rec.Metrics
-	return &telemetryHooks{
+	t := &telemetryHooks{
 		rec: rec,
 		trc: rec.Trace,
 
@@ -74,6 +80,54 @@ func newTelemetryHooks(rec *telemetry.Recorder) *telemetryHooks {
 
 		lastTarget: -1,
 	}
+	if faultsEnabled {
+		t.cFaults = m.Counter("faults_injected")
+		t.cRecovers = m.Counter("fault_recoveries")
+	}
+	return t
+}
+
+// Recovery actions carried in the B field of EvFaultRecover events.
+const (
+	recoverCPUFallback = iota
+	recoverOffloadRetry
+	recoverAbandon
+	recoverStormYield
+)
+
+// faultTrace emits one fault-injection event; a no-op when telemetry is off.
+// Only called from fault paths, so the counters are always registered.
+func (p *Pool) faultTrace(now sim.Time, class faults.Class, cell, slot, taskKind int32, seq int64, detail sim.Time) {
+	if p.tel == nil {
+		return
+	}
+	p.tel.cFaults.Inc()
+	p.tel.trc.Emit(telemetry.Event{
+		At: now, Kind: telemetry.EvFaultInject,
+		Core: -1, Cell: cell, Slot: slot, Task: taskKind,
+		Dur: detail, A: int64(class), B: seq,
+	})
+}
+
+// recoverTrace emits one fault-recovery event; a no-op when telemetry is off.
+func (p *Pool) recoverTrace(now sim.Time, class faults.Class, action int64, cell, slot, taskKind int32) {
+	if p.tel == nil {
+		return
+	}
+	p.tel.cRecovers.Inc()
+	p.tel.trc.Emit(telemetry.Event{
+		At: now, Kind: telemetry.EvFaultRecover,
+		Core: -1, Cell: cell, Slot: slot, Task: taskKind,
+		A: int64(class), B: action,
+	})
+}
+
+func (p *Pool) taskFault(now sim.Time, class faults.Class, t *task, detail sim.Time) {
+	p.faultTrace(now, class, int32(t.node.CellID), int32(t.dag.dag.Slot), int32(t.node.Kind), t.dag.seq, detail)
+}
+
+func (p *Pool) taskRecover(now sim.Time, class faults.Class, action int64, t *task) {
+	p.recoverTrace(now, class, action, int32(t.node.CellID), int32(t.dag.dag.Slot), int32(t.node.Kind))
 }
 
 // attach installs the engine and accelerator probes. Called once from New

@@ -516,3 +516,47 @@ func TestLeafEVTAdapts(t *testing.T) {
 		t.Fatal("leaf-EVT did not adapt to inflated runtimes")
 	}
 }
+
+func TestRingBufferWrapAround(t *testing.T) {
+	r := NewRingBuffer(4)
+	// Partially filled: statistics cover exactly what was pushed.
+	for _, v := range []sim.Time{30, 10, 20} {
+		r.Push(v)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("partial len %d, want 3", r.Len())
+	}
+	if got := r.Max(); got != 30 {
+		t.Fatalf("partial max %v, want 30", got)
+	}
+	if got := r.Quantile(0); got != 10 {
+		t.Fatalf("partial q0 %v, want 10", got)
+	}
+	// Six more pushes wrap the 4-slot ring: only the last four observations
+	// {7, 8, 9, 11} survive; the early maximum (30) must be evicted.
+	for _, v := range []sim.Time{5, 6, 7, 8, 9, 11} {
+		r.Push(v)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("wrapped len %d, want 4", r.Len())
+	}
+	if got := r.Max(); got != 11 {
+		t.Fatalf("wrapped max %v, want 11 (evicted 30 must not survive)", got)
+	}
+	if got := r.Quantile(1); got != 11 {
+		t.Fatalf("wrapped q1 %v, want 11", got)
+	}
+	if got := r.Quantile(0); got != 7 {
+		t.Fatalf("wrapped q0 %v, want 7 (oldest retained)", got)
+	}
+	// One more full lap: the ring now holds {100, 101, 102, 103} only.
+	for i := sim.Time(100); i < 104; i++ {
+		r.Push(i)
+	}
+	if got, want := r.Max(), sim.Time(103); got != want {
+		t.Fatalf("relapped max %v, want %v", got, want)
+	}
+	if got, want := r.Quantile(0), sim.Time(100); got != want {
+		t.Fatalf("relapped q0 %v, want %v", got, want)
+	}
+}

@@ -177,11 +177,19 @@ func (t *TailRecorder) insertTop(v float64) {
 func (t *TailRecorder) Count() uint64 { return t.count }
 
 // Quantile returns the q-quantile. For q in the exactly-tracked tail region
-// it is exact; otherwise it falls back to the body reservoir.
+// it is exact; otherwise it falls back to the body reservoir. q is clamped
+// to [0,1] (q > 1 used to produce a negative rank and an out-of-range index
+// into the tail buffer); the quantile of an empty recorder is 0.
 func (t *TailRecorder) Quantile(q float64) float64 {
 	n := t.count
 	if n == 0 {
 		return 0
+	}
+	if q >= 1 {
+		return t.Max()
+	}
+	if !(q > 0) { // clamps q < 0 and NaN
+		q = 0
 	}
 	// rank counts how many samples are >= the answer.
 	rank := float64(n) * (1 - q)

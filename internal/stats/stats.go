@@ -61,11 +61,13 @@ func Max(xs []float64) float64 {
 	return m
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
-// interpolation between order statistics. It copies and sorts internally.
+// Quantile returns the q-quantile of xs using linear interpolation between
+// order statistics, copying and sorting internally. q is clamped to [0,1];
+// the quantile of an empty sample is defined as 0 (NaN would propagate into
+// CSV/metrics exports downstream).
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
-		return math.NaN()
+		return 0
 	}
 	s := make([]float64, len(xs))
 	copy(s, xs)
@@ -77,13 +79,15 @@ func Quantile(xs []float64, q float64) float64 {
 func QuantileSorted(sorted []float64, q float64) float64 {
 	n := len(sorted)
 	if n == 0 {
-		return math.NaN()
+		return 0
 	}
-	if q <= 0 {
-		return sorted[0]
-	}
+	// Clamp q into [0,1]; NaN (for which both comparisons fail) would turn
+	// into an out-of-range index below, so it clamps low too.
 	if q >= 1 {
 		return sorted[n-1]
+	}
+	if !(q > 0) {
+		return sorted[0]
 	}
 	pos := q * float64(n-1)
 	lo := int(math.Floor(pos))

@@ -74,8 +74,61 @@ func TestQuantileMonotone(t *testing.T) {
 }
 
 func TestQuantileEmpty(t *testing.T) {
-	if !math.IsNaN(Quantile(nil, 0.5)) {
-		t.Fatal("quantile of empty should be NaN")
+	// Empty samples are defined to have quantile 0 (not NaN, which would
+	// propagate into report strings and CSV exports).
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("quantile of empty = %v, want 0", got)
+	}
+	if got := QuantileSorted(nil, 0.99); got != 0 {
+		t.Fatalf("sorted quantile of empty = %v, want 0", got)
+	}
+}
+
+func TestQuantileClampsQ(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Quantile(xs, -0.5); got != 1 {
+		t.Fatalf("q<0 must clamp to min: got %v", got)
+	}
+	if got := Quantile(xs, 1.5); got != 3 {
+		t.Fatalf("q>1 must clamp to max: got %v", got)
+	}
+	if got := Quantile(xs, math.NaN()); got != 1 {
+		t.Fatalf("NaN q must clamp low: got %v", got)
+	}
+}
+
+// Regression: TailRecorder.Quantile with q > 1 computed a negative rank and
+// indexed past the end of the exactly-tracked tail buffer, panicking.
+func TestTailRecorderQuantileClampsQ(t *testing.T) {
+	r := rng.New(5)
+	tr := NewTailRecorder(8, 64, r.Intn)
+	for i := 1; i <= 100; i++ {
+		tr.Observe(float64(i))
+	}
+	if got := tr.Quantile(1.5); got != tr.Max() {
+		t.Fatalf("q>1 must clamp to max: got %v want %v", got, tr.Max())
+	}
+	if got := tr.Quantile(1); got != tr.Max() {
+		t.Fatalf("q=1 must be max: got %v", got)
+	}
+	if got := tr.Quantile(-3); got > tr.Quantile(0.5) {
+		t.Fatalf("q<0 must clamp low: got %v", got)
+	}
+	if got := tr.Quantile(math.NaN()); got > tr.Quantile(0.5) {
+		t.Fatalf("NaN q must clamp low: got %v", got)
+	}
+}
+
+func TestTailRecorderEmptyQuantile(t *testing.T) {
+	r := rng.New(5)
+	tr := NewTailRecorder(8, 64, r.Intn)
+	for _, q := range []float64{0, 0.5, 0.9999, 1, 2, -1} {
+		if got := tr.Quantile(q); got != 0 {
+			t.Fatalf("empty recorder Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if tr.Max() != 0 {
+		t.Fatal("empty recorder Max must be 0")
 	}
 }
 

@@ -199,6 +199,18 @@ func convertEvent(ev Event) []traceEvent {
 			Name: "yield", Cat: "core", Ph: "i",
 			Ts: us(ev.At), Pid: pidPool, Tid: int(ev.Core) + 1, Scope: "t",
 		}}
+	case EvFaultInject:
+		return []traceEvent{{
+			Name: "fault_inject", Cat: "fault", Ph: "i",
+			Ts: us(ev.At), Pid: pidPool, Tid: tidSched, Scope: "p",
+			Args: map[string]any{"class": ev.A, "cell": ev.Cell, "detail_us": ev.Dur.Us()},
+		}}
+	case EvFaultRecover:
+		return []traceEvent{{
+			Name: "fault_recover", Cat: "fault", Ph: "i",
+			Ts: us(ev.At), Pid: pidPool, Tid: tidSched, Scope: "p",
+			Args: map[string]any{"class": ev.A, "action": ev.B},
+		}}
 	case EvCoreRotate:
 		return []traceEvent{{
 			Name: "rotate", Cat: "core", Ph: "i",

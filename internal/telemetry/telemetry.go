@@ -75,6 +75,15 @@ const (
 	// EvInterference samples the workload cache-pressure index.
 	// A=index in milli-units (0..1000).
 	EvInterference
+	// EvFaultInject marks one injected fault (internal/faults).
+	// A=fault class (faults.Class), Cell/Slot/Task where applicable,
+	// Dur=class-specific detail (overrun extra time, fronthaul delay,
+	// stuck-offload watchdog timeout).
+	EvFaultInject
+	// EvFaultRecover marks one recovery action after an injected fault.
+	// A=fault class, B=action (0=cpu-fallback, 1=offload-retry, 2=abandon,
+	// 3=storm-yield), Cell/Slot/Task where applicable.
+	EvFaultRecover
 	numEventKinds
 )
 
@@ -82,7 +91,7 @@ var eventKindNames = [numEventKinds]string{
 	"dag_release", "task_enqueue", "task_dispatch", "task_complete",
 	"offload_span", "dag_complete", "deadline_miss", "dag_drop",
 	"core_acquire", "core_awake", "core_yield", "core_rotate",
-	"sched_decision", "interference",
+	"sched_decision", "interference", "fault_inject", "fault_recover",
 }
 
 // String implements fmt.Stringer.

@@ -209,3 +209,38 @@ func TestChromeTraceSchema(t *testing.T) {
 		}
 	}
 }
+
+func TestMetricsCSVEmptyRegistry(t *testing.T) {
+	// A registry with no metrics and no samples must export a header-only
+	// CSV — exactly the time_us column and nothing after it.
+	r := NewRegistry()
+	var buf bytes.Buffer
+	if err := r.WriteMetricsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "time_us\n" {
+		t.Fatalf("empty registry CSV %q, want %q", got, "time_us\n")
+	}
+	// Sampling with no metrics registered still yields rows with only the
+	// timestamp cell — no trailing separators.
+	r.Sample(sim.FromUs(5))
+	r.Sample(sim.FromUs(6))
+	buf.Reset()
+	if err := r.WriteMetricsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "time_us\n5\n6\n" {
+		t.Fatalf("metric-less samples CSV %q, want %q", got, "time_us\n5\n6\n")
+	}
+}
+
+func TestEventsCSVEmptyTracer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTracer(8).WriteEventsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "time_us,kind,core,cell,slot,task,dur_us,a,b\n"
+	if buf.String() != want {
+		t.Fatalf("empty tracer CSV %q, want header only", buf.String())
+	}
+}

@@ -274,3 +274,22 @@ func (s *Schedule) InterferenceAt(t sim.Time) float64 {
 	}
 	return v
 }
+
+// CombineInterference merges two independent cache-pressure indices in
+// [0, 1]: each source degrades the headroom the other left behind
+// (a + b·(1−a)), so the result stays in range and combining with zero is an
+// exact no-op. Used to overlay injected interference bursts on the workload
+// schedule's baseline.
+func CombineInterference(a, b float64) float64 {
+	if b <= 0 {
+		return a
+	}
+	if a <= 0 {
+		a = 0
+	}
+	v := a + b*(1-a)
+	if v > 1 {
+		return 1
+	}
+	return v
+}

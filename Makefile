@@ -52,6 +52,9 @@ check: lint
 	$(GO) test -race ./internal/parallel ./internal/rng ./internal/phy ./internal/costmodel
 	$(GO) test -race -run 'TestExperimentsWorkerDeterminism/(fig6|fig7|fig12|fig15b)' -timeout 30m .
 
-# One regeneration pass per paper table/figure, with timing.
+# One regeneration pass per paper table/figure, with timing and allocation
+# stats, distilled into BENCH_pool.json (schema in EXPERIMENTS.md) so the
+# perf trajectory is tracked commit over commit. benchjson echoes the stream
+# through, fails on FAIL lines, and refuses to write an empty trajectory.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -timeout 30m ./... | $(GO) run ./cmd/benchjson -o BENCH_pool.json

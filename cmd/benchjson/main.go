@@ -1,0 +1,159 @@
+// Command benchjson distils `go test -bench` output into BENCH_pool.json,
+// the repo's benchmark-trajectory artifact (schema documented in
+// EXPERIMENTS.md). It reads the benchmark stream on stdin, echoes it through
+// to stdout so progress stays visible, and writes one JSON document with a
+// row per benchmark: iterations, ns/op and — when -benchmem was on — B/op
+// and allocs/op.
+//
+// Usage:
+//
+//	go test -run '^$' -bench=. -benchmem -benchtime=1x ./... | benchjson -o BENCH_pool.json
+//
+// benchjson exits non-zero when the stream contains a test failure or no
+// benchmark lines at all, so a broken `make bench` cannot publish an empty
+// trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Package    string  `json:"package"`
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are present only when -benchmem was on.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	MBPerS      *float64 `json:"mb_per_s,omitempty"`
+}
+
+// Trajectory is the BENCH_pool.json document.
+type Trajectory struct {
+	SchemaVersion int         `json:"schema_version"`
+	GoOS          string      `json:"go_os,omitempty"`
+	GoArch        string      `json:"go_arch,omitempty"`
+	CPU           string      `json:"cpu,omitempty"`
+	Benchmarks    []Benchmark `json:"benchmarks"`
+}
+
+// parse consumes a `go test -bench` stream, echoing every line to echo (nil
+// disables the echo), and returns the trajectory. A FAIL line anywhere makes
+// it an error: a broken suite must not publish a trajectory.
+func parse(r io.Reader, echo io.Writer) (*Trajectory, error) {
+	tr := &Trajectory{SchemaVersion: 1, Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	pkg := ""
+	failed := false
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "goos: "):
+			tr.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+		case strings.HasPrefix(line, "goarch: "):
+			tr.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+		case strings.HasPrefix(line, "cpu: "):
+			tr.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+		case strings.HasPrefix(line, "FAIL"):
+			failed = true
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				b.Package = pkg
+				tr.Benchmarks = append(tr.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if failed {
+		return nil, fmt.Errorf("benchmark stream contains a FAIL line")
+	}
+	return tr, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8   12   98765 ns/op   2048 B/op   12 allocs/op
+//
+// Fields after the iteration count come in value/unit pairs; unknown units
+// are ignored so future `go test` additions do not break the parser.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			seen = true
+		case "B/op":
+			val := v
+			b.BytesPerOp = &val
+		case "allocs/op":
+			val := v
+			b.AllocsPerOp = &val
+		case "MB/s":
+			val := v
+			b.MBPerS = &val
+		}
+	}
+	return b, seen
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pool.json", "output JSON path")
+	quiet := flag.Bool("q", false, "do not echo the benchmark stream to stdout")
+	flag.Parse()
+
+	var echo io.Writer
+	if !*quiet {
+		echo = os.Stdout
+	}
+	tr, err := parse(os.Stdin, echo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(tr.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(tr.Benchmarks))
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: concordia/internal/pool
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPoolSecond-8   	       1	 95012345 ns/op	 1234567 B/op	    8901 allocs/op
+BenchmarkNilTelemetryEmit 	  100000	         1.798 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	concordia/internal/pool	0.5s
+pkg: concordia/internal/phy
+BenchmarkLDPCDecode-8   	      10	  1000000 ns/op	  64.00 MB/s
+PASS
+ok  	concordia/internal/phy	0.1s
+`
+
+func TestParseSample(t *testing.T) {
+	var echo bytes.Buffer
+	tr, err := parse(strings.NewReader(sample), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.String() != sample {
+		t.Error("echo does not match input")
+	}
+	if tr.SchemaVersion != 1 || tr.GoOS != "linux" || tr.GoArch != "amd64" || !strings.Contains(tr.CPU, "Xeon") {
+		t.Errorf("header: %+v", tr)
+	}
+	if len(tr.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(tr.Benchmarks))
+	}
+	b := tr.Benchmarks[0]
+	if b.Package != "concordia/internal/pool" || b.Name != "BenchmarkPoolSecond-8" ||
+		b.Iterations != 1 || b.NsPerOp != 95012345 {
+		t.Errorf("row 0: %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 1234567 || b.AllocsPerOp == nil || *b.AllocsPerOp != 8901 {
+		t.Errorf("row 0 memstats: %+v", b)
+	}
+	zero := tr.Benchmarks[1]
+	if zero.AllocsPerOp == nil || *zero.AllocsPerOp != 0 || zero.NsPerOp != 1.798 {
+		t.Errorf("zero-alloc row: %+v", zero)
+	}
+	mb := tr.Benchmarks[2]
+	if mb.Package != "concordia/internal/phy" || mb.MBPerS == nil || *mb.MBPerS != 64 || mb.BytesPerOp != nil {
+		t.Errorf("MB/s row: %+v", mb)
+	}
+
+	// The document must round-trip as valid JSON with the documented keys.
+	buf, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["benchmarks"]; !ok {
+		t.Errorf("missing benchmarks key: %s", buf)
+	}
+}
+
+func TestParseRejectsFailure(t *testing.T) {
+	in := "BenchmarkX-8 1 5 ns/op\nFAIL\nexit status 1\n"
+	if _, err := parse(strings.NewReader(in), nil); err == nil {
+		t.Error("FAIL stream accepted")
+	}
+}
+
+func TestParseSkipsNonResultBenchmarkLines(t *testing.T) {
+	// Status lines like "BenchmarkFoo   " (no fields yet) and malformed rows
+	// must be skipped, not fatal.
+	in := "BenchmarkFoo\nBenchmarkBar-8 notanint 5 ns/op\nBenchmarkOk-8 2 7 ns/op\nPASS\n"
+	tr, err := parse(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Benchmarks) != 1 || tr.Benchmarks[0].Name != "BenchmarkOk-8" {
+		t.Errorf("benchmarks: %+v", tr.Benchmarks)
+	}
+}

@@ -18,8 +18,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"concordia"
+	"concordia/internal/analysis"
 	"concordia/internal/traffic"
 	"concordia/internal/workloads"
 )
@@ -58,7 +61,41 @@ func main() {
 	perCell := flag.Bool("per-cell", false, "print the per-cell deadline-miss and queueing-delay breakdown")
 	faultsSpec := flag.String("faults", "", `deterministic fault injection spec, e.g. "lane=0.05,stuck=0.01,burst=5" or "all" (see internal/faults)`)
 	dropLate := flag.Bool("drop-late", false, "abandon DAGs whose deadline has passed (counted as dropped misses)")
+	eventsOut := flag.String("events", "", "write the run's raw telemetry events CSV to this file (feed to cmd/autopsy)")
+	autopsyOut := flag.String("autopsy", "", "write the run's markdown autopsy report (miss attribution + calibration) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	// Profiles go to their own files and errors to stderr, so profiling can
+	// never perturb the deterministic report bytes on stdout.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+		f.Close()
+	}()
 
 	var cfg concordia.Config
 	switch *config {
@@ -101,7 +138,7 @@ func main() {
 	}
 	// -per-cell needs the instrumented path too: queueing delays are observed
 	// per dispatch only when telemetry is on.
-	if *traceOut != "" || *metricsOut != "" || *perCell {
+	if *traceOut != "" || *metricsOut != "" || *perCell || *eventsOut != "" || *autopsyOut != "" {
 		cfg.Telemetry = concordia.NewTelemetry(concordia.TelemetryOptions{})
 	}
 	if *replayPath != "" {
@@ -148,6 +185,22 @@ func main() {
 	}
 	if *metricsOut != "" {
 		if err := writeExport(*metricsOut, sys.WriteMetricsCSV); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	if *eventsOut != "" {
+		if err := writeExport(*eventsOut, sys.Telemetry().Trace.WriteEventsCSV); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	if *autopsyOut != "" {
+		a := analysis.Analyze(sys.Telemetry().Trace.Events(), analysis.Options{
+			PoolCores: cfg.PoolCores,
+			Deadline:  cfg.Deadline,
+		})
+		if err := writeExport(*autopsyOut, a.WriteReport); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"concordia/internal/sim"
+)
+
+// PredictSample is one predicted-vs-observed WCET pair (the payload of an
+// EvPredictSample event, or a synthetic pair from the predcal experiment).
+type PredictSample struct {
+	Kind      int32
+	Predicted sim.Time
+	Observed  sim.Time
+}
+
+// KindCalibration is the calibration monitor's verdict for one task kind.
+//
+// A predictor targeting quantile q is calibrated when the observed runtime
+// lands at or under the prediction a fraction q of the time (coverage), and
+// well-calibrated predictions are additionally *sharp* — the headroom
+// (prediction minus observation) is small, because every microsecond of
+// pessimism is CPU the pool cannot reclaim. Drift watches coverage over
+// sliding windows: a predictor that was calibrated offline but degrades
+// under a workload shift shows windows drifting away from the overall rate
+// long before the aggregate number moves.
+type KindCalibration struct {
+	Kind    int32
+	Samples int
+
+	// Coverage is the fraction of samples with observed <= predicted;
+	// Target is the quantile the predictor aimed for.
+	Coverage float64
+	Target   float64
+
+	// MeanHeadroomUs is the mean (predicted - observed) in µs (negative
+	// when underprediction dominates); MeanHeadroomFrac normalizes by the
+	// prediction.
+	MeanHeadroomUs   float64
+	MeanHeadroomFrac float64
+
+	// Drift is the largest absolute deviation of any full window's coverage
+	// from the overall coverage; Windows is how many full windows the trace
+	// held.
+	Drift   float64
+	Windows int
+
+	// Tolerance is the acceptance band below Target (3-sigma binomial,
+	// floored at 3/n so tiny traces do not flag); Miscalibrated is
+	// Coverage < Target - Tolerance.
+	Tolerance     float64
+	Miscalibrated bool
+}
+
+// CalibrateSamples runs the calibration monitor: per task kind coverage,
+// sharpness and windowed drift against the target quantile. Samples must be
+// in trace order (windows are temporal); output rows are sorted by kind so
+// the bytes are deterministic.
+func CalibrateSamples(samples []PredictSample, target float64, window int) []KindCalibration {
+	if target == 0 {
+		target = 0.99999
+	}
+	if window <= 0 {
+		window = 512
+	}
+	byKind := map[int32][]PredictSample{}
+	for _, s := range samples {
+		byKind[s.Kind] = append(byKind[s.Kind], s)
+	}
+	kinds := make([]int32, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+
+	out := make([]KindCalibration, 0, len(kinds))
+	for _, k := range kinds {
+		ks := byKind[k]
+		c := KindCalibration{Kind: k, Samples: len(ks), Target: target}
+		covered := 0
+		var headUs, headFrac float64
+		for _, s := range ks {
+			if s.Observed <= s.Predicted {
+				covered++
+			}
+			headUs += (s.Predicted - s.Observed).Us()
+			if s.Predicted > 0 {
+				headFrac += float64(s.Predicted-s.Observed) / float64(s.Predicted)
+			}
+		}
+		n := float64(len(ks))
+		c.Coverage = float64(covered) / n
+		c.MeanHeadroomUs = headUs / n
+		c.MeanHeadroomFrac = headFrac / n
+
+		for i := 0; i+window <= len(ks); i += window {
+			wCovered := 0
+			for _, s := range ks[i : i+window] {
+				if s.Observed <= s.Predicted {
+					wCovered++
+				}
+			}
+			dev := math.Abs(float64(wCovered)/float64(window) - c.Coverage)
+			if dev > c.Drift {
+				c.Drift = dev
+			}
+			c.Windows++
+		}
+
+		// 3-sigma binomial band around the target, floored so that a run too
+		// short to resolve the quantile cannot flag: with n samples the
+		// smallest observable miss rate is 1/n.
+		sigma := math.Sqrt(target * (1 - target) / n)
+		c.Tolerance = math.Max(3*sigma, 3/n)
+		c.Miscalibrated = c.Coverage < c.Target-c.Tolerance
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"sort"
+
+	"concordia/internal/sim"
+	"concordia/internal/telemetry"
+)
+
+// TaskSpan is the reconstructed lifetime of one task within a DAG. A task
+// may be enqueued and dispatched more than once (stuck-offload retries);
+// the span folds the attempts into one record.
+type TaskSpan struct {
+	Node int32 // DAG-local task ID
+	Kind int32 // ran.TaskKind
+
+	ReadyAt sim.Time // first became ready (enqueue, or dispatch for kept successors)
+	StartAt sim.Time // last dispatch (the attempt that completed)
+	EndAt   sim.Time // completion
+	Done    bool
+
+	// Dispatches counts dispatch events (>1 means offload retries).
+	Dispatches int
+	// Offloaded reports the task completed on the accelerator (Core=-1).
+	Offloaded bool
+
+	// Decomposition of EndAt-ReadyAt: Queue is the summed dispatch delays
+	// across attempts, Exec the final software runtime, Offload the final
+	// accelerator runtime (submit + device), Stall the residual lost to
+	// watchdog timeouts and retry backoff between attempts.
+	Queue   sim.Time
+	Exec    sim.Time
+	Offload sim.Time
+	Stall   sim.Time
+
+	// Predicted/Observed are the WCET pair from EvPredictSample when the
+	// task completed (HasSample).
+	Predicted sim.Time
+	Observed  sim.Time
+	HasSample bool
+
+	hasReady bool
+}
+
+// Timeline is the reconstructed lifetime of one DAG.
+type Timeline struct {
+	Seq  int64
+	Cell int32
+	Slot int32
+	Dir  int64
+
+	// AdmitAt is when the pool admitted the DAG (EvDAGRelease). Release is
+	// the nominal radio release stamp, recovered as EndAt-Latency; for a
+	// fronthaul-late slot AdmitAt > Release.
+	AdmitAt  sim.Time
+	Release  sim.Time
+	EndAt    sim.Time
+	Latency  sim.Time
+	HasAdmit bool
+	HasEnd   bool
+
+	Completed bool // EvDAGComplete seen
+	Dropped   bool // EvDAGDrop seen
+	Missed    bool // EvDeadlineMiss seen
+
+	Tasks []*TaskSpan // sorted by node ID
+
+	// Critical is the chain of node IDs (root-most first) that determined
+	// the completion time, recovered by walking completion/ready stamps
+	// backwards from the last-finishing task.
+	Critical []int32
+
+	// Critical-path decomposition of Latency. Fronthaul is the admission
+	// delay (AdmitAt-Release); Blocked is the residual not explained by the
+	// chain — predecessor waits outside the chain and, for dropped DAGs,
+	// the dead time between the last completion and the drop.
+	Fronthaul sim.Time
+	Queue     sim.Time
+	Exec      sim.Time
+	Offload   sim.Time
+	Stall     sim.Time
+	Blocked   sim.Time
+
+	// Truncated marks a timeline whose admission record was lost to ring
+	// wraparound; its decomposition is unreliable.
+	Truncated bool
+
+	spans map[int32]*TaskSpan
+}
+
+func (tl *Timeline) span(node int32, kind int32) *TaskSpan {
+	s, ok := tl.spans[node]
+	if !ok {
+		s = &TaskSpan{Node: node, Kind: kind}
+		tl.spans[node] = s
+	}
+	return s
+}
+
+// buildTimelines groups the event stream by DAG sequence number.
+func buildTimelines(events []telemetry.Event) map[int64]*Timeline {
+	tls := map[int64]*Timeline{}
+	get := func(seq int64, cell, slot int32) *Timeline {
+		tl, ok := tls[seq]
+		if !ok {
+			tl = &Timeline{Seq: seq, Cell: cell, Slot: slot, spans: map[int32]*TaskSpan{}}
+			tls[seq] = tl
+		}
+		return tl
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case telemetry.EvDAGRelease:
+			tl := get(ev.A, ev.Cell, ev.Slot)
+			tl.AdmitAt = ev.At
+			tl.HasAdmit = true
+			tl.Dir = ev.B
+		case telemetry.EvTaskEnqueue:
+			s := get(ev.A, ev.Cell, ev.Slot).span(int32(ev.B), ev.Task)
+			if !s.hasReady {
+				s.ReadyAt = ev.At
+				s.hasReady = true
+			}
+		case telemetry.EvTaskDispatch:
+			s := get(ev.A, ev.Cell, ev.Slot).span(int32(ev.B), ev.Task)
+			if !s.hasReady {
+				// Kept successors skip the ready queue: dispatch with zero
+				// delay is the only record, and ready time equals dispatch.
+				s.ReadyAt = ev.At - ev.Dur
+				s.hasReady = true
+			}
+			s.StartAt = ev.At
+			s.Dispatches++
+			s.Queue += ev.Dur
+		case telemetry.EvTaskComplete:
+			s := get(ev.A, ev.Cell, ev.Slot).span(int32(ev.B), ev.Task)
+			s.EndAt = ev.At
+			s.Done = true
+			s.Offloaded = ev.Core < 0
+			if s.Offloaded {
+				s.Offload = ev.Dur
+			} else {
+				s.Exec = ev.Dur
+			}
+			if !s.hasReady {
+				// Both enqueue and dispatch lost to wraparound: anchor the
+				// span at its completion so downstream math stays sane.
+				s.ReadyAt = ev.At - ev.Dur
+				s.hasReady = true
+			}
+		case telemetry.EvPredictSample:
+			// Core carries the DAG-local task ID on this kind.
+			s := get(ev.B, ev.Cell, ev.Slot).span(ev.Core, ev.Task)
+			s.Predicted = sim.Time(ev.A)
+			s.Observed = ev.Dur
+			s.HasSample = true
+		case telemetry.EvDAGComplete:
+			tl := get(ev.A, ev.Cell, ev.Slot)
+			tl.EndAt = ev.At
+			tl.Latency = ev.Dur
+			tl.HasEnd = true
+			tl.Completed = true
+			tl.Dir = ev.B
+		case telemetry.EvDAGDrop:
+			tl := get(ev.A, ev.Cell, ev.Slot)
+			tl.EndAt = ev.At
+			tl.Latency = ev.Dur
+			tl.HasEnd = true
+			tl.Dropped = true
+			tl.Dir = ev.B
+		case telemetry.EvDeadlineMiss:
+			get(ev.A, ev.Cell, ev.Slot).Missed = true
+		}
+	}
+	for _, tl := range tls {
+		nodes := make([]int32, 0, len(tl.spans))
+		for node := range tl.spans {
+			nodes = append(nodes, node)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		tl.Tasks = make([]*TaskSpan, 0, len(tl.spans))
+		for _, node := range nodes {
+			s := tl.spans[node]
+			// Finish per-span decomposition: whatever the attempts did not
+			// spend queueing or executing was stall (watchdog + backoff).
+			if s.Done {
+				s.Stall = s.EndAt - s.ReadyAt - s.Queue - s.Exec - s.Offload
+				if s.Stall < 0 {
+					s.Stall = 0
+				}
+			}
+			tl.Tasks = append(tl.Tasks, s)
+		}
+		if tl.HasEnd {
+			tl.Release = tl.EndAt - tl.Latency
+		} else if tl.HasAdmit {
+			tl.Release = tl.AdmitAt
+		}
+		tl.Truncated = !tl.HasAdmit
+	}
+	return tls
+}
+
+// extractCriticalPath walks backwards from the last-finishing task: each
+// step picks the completed span whose completion time is the latest one not
+// after the current span's ready time — exactly the dependency whose finish
+// made the task ready, since the pool enqueues a successor the instant its
+// last predecessor completes. The walk needs no DAG edge information, so it
+// works on the trace alone.
+func (tl *Timeline) extractCriticalPath() {
+	var end *TaskSpan
+	for _, s := range tl.Tasks {
+		if !s.Done {
+			continue
+		}
+		if end == nil || s.EndAt > end.EndAt || (s.EndAt == end.EndAt && s.Node < end.Node) {
+			end = s
+		}
+	}
+	if end == nil {
+		return
+	}
+	onPath := map[int32]bool{}
+	var chain []*TaskSpan
+	cur := end
+	for cur != nil {
+		chain = append(chain, cur)
+		onPath[cur.Node] = true
+		var pred *TaskSpan
+		for _, s := range tl.Tasks {
+			if !s.Done || onPath[s.Node] || s.EndAt > cur.ReadyAt {
+				continue
+			}
+			if pred == nil || s.EndAt > pred.EndAt || (s.EndAt == pred.EndAt && s.Node < pred.Node) {
+				pred = s
+			}
+		}
+		// A root's ready time coincides with admission; stop once no span
+		// finishes early enough to have gated the current one.
+		cur = pred
+	}
+	// chain is end-first; record root-first.
+	tl.Critical = make([]int32, len(chain))
+	for i, s := range chain {
+		tl.Critical[len(chain)-1-i] = s.Node
+	}
+	for _, s := range chain {
+		tl.Queue += s.Queue
+		tl.Exec += s.Exec
+		tl.Offload += s.Offload
+		tl.Stall += s.Stall
+	}
+	if tl.HasAdmit && tl.AdmitAt > tl.Release {
+		tl.Fronthaul = tl.AdmitAt - tl.Release
+	}
+	if tl.HasEnd {
+		tl.Blocked = tl.Latency - tl.Fronthaul - tl.Queue - tl.Exec - tl.Offload - tl.Stall
+		if tl.Blocked < 0 {
+			tl.Blocked = 0
+		}
+	}
+}
+
+// CriticalSpan returns the span for a node on the critical path (nil when
+// the node is unknown).
+func (tl *Timeline) CriticalSpan(node int32) *TaskSpan {
+	if tl.spans == nil {
+		return nil
+	}
+	return tl.spans[node]
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"concordia/internal/analysis"
+	"concordia/internal/core"
+	"concordia/internal/faults"
+	"concordia/internal/pool"
+	"concordia/internal/sim"
+	"concordia/internal/telemetry"
+	"concordia/internal/workloads"
+)
+
+// CaptureAutopsy runs an instrumented scenario and feeds its event trace to
+// the analysis engine. With an empty faultsSpec it runs the canonical
+// collocation scenario (the CaptureTelemetry deployment: 7-cell 20 MHz pool
+// sharing 8 cores with Redis); a non-empty spec runs the chaos testbed with
+// those faults injected. The returned autopsy and the trace it was built
+// from are deterministic for a fixed seed at any Workers count.
+func CaptureAutopsy(o Options, faultsSpec string) (*analysis.Autopsy, *pool.Report, error) {
+	rec := telemetry.New(telemetry.Options{})
+	var cfg core.Config
+	if faultsSpec == "" {
+		cfg = core.Scenario20MHz(7, 8)
+		cfg.Workload = workloads.Redis
+		cfg.Load = 0.25
+	} else {
+		fc, err := faults.Parse(faultsSpec)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg = chaosConfig(o)
+		if fc.Enabled() {
+			cfg.Faults = &fc
+		}
+	}
+	cfg.Seed = o.Seed
+	cfg.TrainingSlots = o.training()
+	cfg.Workers = o.Workers
+	cfg.Telemetry = rec
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := sys.Run(o.dur(2 * sim.Second))
+	a := analysis.Analyze(rec.Trace.Events(), analysis.Options{
+		PoolCores: cfg.PoolCores,
+		Deadline:  cfg.Deadline,
+	})
+	return a, rep, nil
+}

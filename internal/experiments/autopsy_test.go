@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"concordia/internal/analysis"
+	"concordia/internal/costmodel"
+	"concordia/internal/predictor"
+	"concordia/internal/ran"
+)
+
+// TestAutopsyPartitionInvariant is the acceptance gate for the attribution
+// engine: on the canonical collocation scenario and on chaos runs, every
+// EvDeadlineMiss must be classified into exactly one cause, and the analysis
+// miss count must equal the pool report's — the autopsy explains exactly the
+// misses the report counts, no more, no fewer.
+func TestAutopsyPartitionInvariant(t *testing.T) {
+	o := quick(t)
+	o.Scale = 0.05
+	cases := []struct {
+		name, spec string
+		wantMisses bool
+		dominant   analysis.Cause
+	}{
+		// The healthy canonical deployment misses (almost) never; the
+		// invariant must hold vacuously too.
+		{name: "canonical", spec: ""},
+		// Stuck offloads with a slow watchdog: misses trace to retry stalls.
+		{name: "stuck", spec: "stuck=0.2,timeout-us=1200,retries=3",
+			wantMisses: true, dominant: analysis.CauseAccelFault},
+		// Fronthaul delay close to the deadline: admission ate the budget.
+		{name: "late", spec: "late=0.3,late-us=1900",
+			wantMisses: true, dominant: analysis.CauseFronthaulLate},
+		// Huge injected overruns: observed runtime blows past the prediction.
+		{name: "overrun", spec: "overrun=0.1,factor=50",
+			wantMisses: true, dominant: analysis.CauseWCETUnderprediction},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a, rep, err := CaptureAutopsy(o, c.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.PartitionHolds() {
+				t.Fatalf("partition invariant violated: %v vs %d misses", a.CauseCounts, a.TotalMisses())
+			}
+			if got, want := a.TotalMisses(), int(rep.Misses); got != want {
+				t.Fatalf("autopsy found %d misses, pool report counted %d", got, want)
+			}
+			if c.wantMisses {
+				if a.TotalMisses() == 0 {
+					t.Fatal("chaos run produced no misses; the invariant check is vacuous")
+				}
+				best := analysis.CauseUnattributed
+				for cause := analysis.Cause(0); cause < analysis.NumCauses; cause++ {
+					if a.CauseCounts[cause] > a.CauseCounts[best] {
+						best = cause
+					}
+				}
+				if best != c.dominant {
+					t.Errorf("dominant cause %v, want %v (counts %v)", best, c.dominant, a.CauseCounts)
+				}
+			}
+		})
+	}
+}
+
+// TestAutopsyWorkerDeterminism asserts the analysis artifacts inherit the
+// repo's byte-identity guarantee: report, causes CSV and calibration CSV are
+// the same bytes at any Workers count.
+func TestAutopsyWorkerDeterminism(t *testing.T) {
+	o := quick(t)
+	o.Scale = 0.05
+	type capture struct {
+		workers                  int
+		report, causes, calibCSV bytes.Buffer
+	}
+	captures := []*capture{{workers: 1}, {workers: 2}, {workers: 8}}
+	for _, c := range captures {
+		run := o
+		run.Workers = c.workers
+		a, _, err := CaptureAutopsy(run, "stuck=0.2,timeout-us=1200,retries=3")
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", c.workers, err)
+		}
+		if err := a.WriteReport(&c.report); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.WriteCausesCSV(&c.causes); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.WriteCalibrationCSV(&c.calibCSV); err != nil {
+			t.Fatal(err)
+		}
+		if c.report.Len() == 0 || c.causes.Len() == 0 || c.calibCSV.Len() == 0 {
+			t.Fatalf("Workers=%d: empty artifact", c.workers)
+		}
+	}
+	ref := captures[0]
+	for _, c := range captures[1:] {
+		if !bytes.Equal(ref.report.Bytes(), c.report.Bytes()) {
+			t.Errorf("autopsy report differs between Workers=1 and Workers=%d", c.workers)
+		}
+		if !bytes.Equal(ref.causes.Bytes(), c.causes.Bytes()) {
+			t.Errorf("causes CSV differs between Workers=1 and Workers=%d", c.workers)
+		}
+		if !bytes.Equal(ref.calibCSV.Bytes(), c.calibCSV.Bytes()) {
+			t.Errorf("calibration CSV differs between Workers=1 and Workers=%d", c.workers)
+		}
+	}
+}
+
+// TestCalibrationCatchesMiscalibrated is the monitor's acceptance story: a
+// baseline predictor whose quantile was fit offline in isolation drifts out
+// of coverage when the workload shifts to a collocated stream (and online
+// feedback is off), and the monitor flags it — while the adapting quantile
+// tree stays within tolerance on the same stream. The setup replicates one
+// kind's cell of the predcal experiment (channel_estimation, index 3 in
+// predCalKinds, at Scale 0.5).
+func TestCalibrationCatchesMiscalibrated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("predictor training; skipped with -short")
+	}
+	const (
+		target = 0.99999
+		seed   = uint64(42)
+		i      = 3 // channel_estimation's index in predCalKinds
+		n      = 20000
+	)
+	kind := ran.TaskChannelEstimation
+	model := costmodel.New(seed)
+	feats := predictor.HandPicked[kind]
+	if len(feats) == 0 {
+		feats = []ran.Feature{ran.FTBSBits}
+	}
+	env := costmodel.Env{PoolCores: 4, Interference: 0.95}
+	isoEnv := costmodel.Env{PoolCores: 4}
+	train := genKindSamples(kind, n, 2, isoEnv, model, seed+uint64(i)*43+11)
+	eval := genKindSamples(kind, n/2, 2, env, model, seed+uint64(i)*43+12)
+
+	cal := func(mode string, pi int) analysis.KindCalibration {
+		t.Helper()
+		preds, err := trainPredCalSet(kind, feats, train, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples := streamPredictSamples(preds[pi], kind, eval, mode == "online")
+		cals := analysis.CalibrateSamples(samples, target, 0)
+		if len(cals) != 1 {
+			t.Fatalf("expected one calibration row, got %d", len(cals))
+		}
+		return cals[0]
+	}
+
+	qdt := cal("online", 0)
+	if qdt.Miscalibrated {
+		t.Errorf("quantile tree (online) flagged miscalibrated: coverage %.5f, tolerance %.5f",
+			qdt.Coverage, qdt.Tolerance)
+	}
+	for name, pi := range map[string]int{"linear": 1, "evt": 3} {
+		c := cal("frozen", pi)
+		if !c.Miscalibrated {
+			t.Errorf("%s (frozen) not flagged: coverage %.5f, target %.5f, tolerance %.5f",
+				name, c.Coverage, c.Target, c.Tolerance)
+		}
+		if c.Coverage >= qdt.Coverage {
+			t.Errorf("%s (frozen) coverage %.5f not below quantile tree's %.5f",
+				name, c.Coverage, qdt.Coverage)
+		}
+	}
+}
+
+// TestPredCalResultShape runs the full predcal experiment once at test scale
+// and checks its structure: one row per (kind, mode, predictor) in fixed
+// order, a rendered table, and the CSV export.
+func TestPredCalResultShape(t *testing.T) {
+	o := quick(t)
+	res, err := RunPredCal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(predCalKinds) * 2 * len(predCalNames)
+	if len(res.Rows) != want {
+		t.Fatalf("rows %d, want %d", len(res.Rows), want)
+	}
+	// Fixed ordering: grouped by kind, then online before frozen, then the
+	// predCalNames predictor order.
+	for i, row := range res.Rows {
+		wantKind := predCalKinds[i/(2*len(predCalNames))]
+		wantMode := []string{"online", "frozen"}[(i/len(predCalNames))%2]
+		wantPred := predCalNames[i%len(predCalNames)]
+		if row.Kind != wantKind || row.Mode != wantMode || row.Predictor != wantPred {
+			t.Fatalf("row %d is (%v,%s,%s), want (%v,%s,%s)",
+				i, row.Kind, row.Mode, row.Predictor, wantKind, wantMode, wantPred)
+		}
+		if row.Cal.Samples == 0 {
+			t.Fatalf("row %d has no samples", i)
+		}
+	}
+	header, rows := res.CSV()
+	if len(header) != 12 || header[0] != "kind" || len(rows) != want {
+		t.Fatalf("CSV shape: header %v rows %d", header, len(rows))
+	}
+	if s := res.String(); len(s) < 100 {
+		t.Fatalf("table too short:\n%s", s)
+	}
+}

@@ -177,6 +177,8 @@ func RunCSV(name string, o Options, w io.Writer) error {
 		res, err = RunAblation(o)
 	case "chaos":
 		res, err = RunChaos(o, "sweep")
+	case "predcal":
+		res, err = RunPredCal(o)
 	default:
 		return fmt.Errorf("experiments: %q has no CSV form", name)
 	}

@@ -1,0 +1,77 @@
+package pool
+
+import (
+	"testing"
+
+	"concordia/internal/faults"
+	"concordia/internal/scheduler"
+	"concordia/internal/sim"
+	"concordia/internal/telemetry"
+	"concordia/internal/workloads"
+)
+
+// The telemetry-off contract: a nil Recorder makes every instrumentation
+// site a single nil check — no allocations, no map lookups. These tests pin
+// that down so tracing off truly costs nothing.
+
+// TestNilTelemetryZeroAlloc asserts the disabled-path emission helpers
+// allocate nothing.
+func TestNilTelemetryZeroAlloc(t *testing.T) {
+	p := &Pool{} // tel == nil: the disabled path
+	if n := testing.AllocsPerRun(100, func() {
+		p.faultTrace(0, faults.LaneFailure, 0, 0, 0, 1, 0)
+		p.recoverTrace(0, faults.LaneFailure, recoverCPUFallback, 0, 0, 0)
+	}); n != 0 {
+		t.Errorf("nil-telemetry fault hooks allocated %.1f per run, want 0", n)
+	}
+
+	var tr *telemetry.Tracer
+	var ev telemetry.Event
+	if n := testing.AllocsPerRun(100, func() {
+		tr.Emit(ev)
+	}); n != 0 {
+		t.Errorf("nil Tracer.Emit allocated %.1f per run, want 0", n)
+	}
+}
+
+// TestTelemetryOffMatchesBaseline asserts the nil-Recorder run is not just
+// cheap but invisible: the report bytes are identical with telemetry off,
+// so the guard branches cannot perturb the simulation.
+func TestTelemetryOffMatchesBaseline(t *testing.T) {
+	base := run(t, testConfig(scheduler.NewConcordia(), workloads.Redis, 3), sim.Second).String()
+	cfg := testConfig(scheduler.NewConcordia(), workloads.Redis, 3)
+	cfg.Telemetry = telemetry.New(telemetry.Options{})
+	instrumented := run(t, cfg, sim.Second).String()
+	if base != instrumented {
+		t.Error("telemetry changed the report output")
+	}
+}
+
+// BenchmarkNilTelemetryEmit measures the disabled fast path; allocs/op must
+// read 0 in BENCH_pool.json.
+func BenchmarkNilTelemetryEmit(b *testing.B) {
+	p := &Pool{}
+	var tr *telemetry.Tracer
+	var ev telemetry.Event
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.faultTrace(0, faults.LaneFailure, 0, 0, 0, 1, 0)
+		tr.Emit(ev)
+	}
+}
+
+// BenchmarkPoolSecondTelemetry is BenchmarkPoolSecond with the tracer on —
+// the two rows side by side in BENCH_pool.json are the observability tax.
+func BenchmarkPoolSecondTelemetry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := testConfig(scheduler.NewConcordia(), workloads.Redis, uint64(i))
+		cfg.Telemetry = telemetry.New(telemetry.Options{})
+		p, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		p.Run(sim.Second)
+	}
+}

@@ -608,7 +608,7 @@ func (p *Pool) pushReady(t *task, now sim.Time) {
 		p.tel.trc.Emit(telemetry.Event{
 			At: now, Kind: telemetry.EvTaskEnqueue,
 			Core: -1, Cell: int32(t.node.CellID), Slot: int32(t.dag.dag.Slot),
-			Task: int32(t.node.Kind), A: t.dag.seq,
+			Task: int32(t.node.Kind), A: t.dag.seq, B: int64(t.node.ID),
 		})
 	}
 }
@@ -669,7 +669,7 @@ func (p *Pool) startTask(ci int, t *task, now sim.Time) {
 		p.tel.trc.Emit(telemetry.Event{
 			At: now, Kind: telemetry.EvTaskDispatch,
 			Core: int32(ci), Cell: int32(t.node.CellID), Slot: int32(t.dag.dag.Slot),
-			Task: int32(t.node.Kind), Dur: delay, A: t.dag.seq,
+			Task: int32(t.node.Kind), Dur: delay, A: t.dag.seq, B: int64(t.node.ID),
 		})
 	}
 	if p.cfg.Accel != nil && !t.noOffload && p.cfg.Accel.Offloads(t.node.Kind) {
@@ -854,8 +854,9 @@ func (p *Pool) onOffloadDone(t *task) {
 		p.tel.trc.Emit(telemetry.Event{
 			At: now, Kind: telemetry.EvTaskComplete,
 			Core: -1, Cell: int32(t.node.CellID), Slot: int32(t.dag.dag.Slot),
-			Task: int32(t.node.Kind), Dur: now - t.started, A: run.seq,
+			Task: int32(t.node.Kind), Dur: now - t.started, A: run.seq, B: int64(t.node.ID),
 		})
+		p.tel.predictSample(now, t, now-t.started)
 	}
 	if run.dropped {
 		return
@@ -904,8 +905,9 @@ func (p *Pool) onTaskDone(ci int) {
 		p.tel.trc.Emit(telemetry.Event{
 			At: now, Kind: telemetry.EvTaskComplete,
 			Core: int32(ci), Cell: int32(t.node.CellID), Slot: int32(t.dag.dag.Slot),
-			Task: int32(t.node.Kind), Dur: measured, A: run.seq,
+			Task: int32(t.node.Kind), Dur: measured, A: run.seq, B: int64(t.node.ID),
 		})
+		p.tel.predictSample(now, t, measured)
 	}
 
 	// Spawn successors (none for a dropped DAG: its data is gone).

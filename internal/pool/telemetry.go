@@ -122,6 +122,18 @@ func (p *Pool) recoverTrace(now sim.Time, class faults.Class, action int64, cell
 	})
 }
 
+// predictSample emits one predicted-vs-observed runtime pair at task
+// completion. Per the EvPredictSample contract the Core field carries the
+// DAG-local task ID (the node, not a core) so analysis can join the sample
+// to its timeline; A is the prediction fixed at release time.
+func (t *telemetryHooks) predictSample(now sim.Time, tk *task, observed sim.Time) {
+	t.trc.Emit(telemetry.Event{
+		At: now, Kind: telemetry.EvPredictSample,
+		Core: int32(tk.node.ID), Cell: int32(tk.node.CellID), Slot: int32(tk.dag.dag.Slot),
+		Task: int32(tk.node.Kind), Dur: observed, A: int64(tk.predicted), B: tk.dag.seq,
+	})
+}
+
 func (p *Pool) taskFault(now sim.Time, class faults.Class, t *task, detail sim.Time) {
 	p.faultTrace(now, class, int32(t.node.CellID), int32(t.dag.dag.Slot), int32(t.node.Kind), t.dag.seq, detail)
 }

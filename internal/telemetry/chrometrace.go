@@ -137,6 +137,39 @@ func WriteChromeTrace(w io.Writer, t *Tracer, meta ChromeTraceMeta) error {
 	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ns"})
 }
 
+// traceDisposition records whether a kind is rendered by convertEvent or
+// intentionally suppressed. The zero value means "unmapped": adding an
+// EventKind without deciding its Chrome-trace fate fails the exhaustiveness
+// test loudly instead of silently falling through convertEvent's default.
+type traceDisposition uint8
+
+const (
+	dispUnmapped traceDisposition = iota
+	dispRendered
+	dispSuppressed
+)
+
+// chromeDispositions must have a non-zero entry for every EventKind.
+var chromeDispositions = [numEventKinds]traceDisposition{
+	EvDAGRelease:    dispRendered,
+	EvTaskEnqueue:   dispSuppressed, // metrics-level; would double the span count
+	EvTaskDispatch:  dispSuppressed, // metrics-level; would double the span count
+	EvTaskComplete:  dispRendered,
+	EvOffloadSpan:   dispRendered,
+	EvDAGComplete:   dispRendered,
+	EvDeadlineMiss:  dispRendered,
+	EvDAGDrop:       dispRendered,
+	EvCoreAcquire:   dispRendered,
+	EvCoreAwake:     dispRendered,
+	EvCoreYield:     dispRendered,
+	EvCoreRotate:    dispRendered,
+	EvSchedDecision: dispRendered,
+	EvInterference:  dispRendered,
+	EvFaultInject:   dispRendered,
+	EvFaultRecover:  dispRendered,
+	EvPredictSample: dispSuppressed, // analysis-level; consumed by internal/analysis
+}
+
 // convertEvent maps one telemetry event to zero or more trace events.
 func convertEvent(ev Event) []traceEvent {
 	switch ev.Kind {

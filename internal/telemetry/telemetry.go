@@ -35,13 +35,15 @@ const (
 	// Cell, Slot, A=dag sequence, B=direction (ran.SlotDir).
 	EvDAGRelease EventKind = iota
 	// EvTaskEnqueue marks a task becoming ready (dependencies met).
-	// Cell, Slot, Task=kind, A=dag sequence.
+	// Cell, Slot, Task=kind, A=dag sequence, B=DAG-local task ID.
 	EvTaskEnqueue
 	// EvTaskDispatch marks a task starting on a core.
-	// Core, Cell, Slot, Task=kind, Dur=queueing delay, A=dag sequence.
+	// Core, Cell, Slot, Task=kind, Dur=queueing delay, A=dag sequence,
+	// B=DAG-local task ID.
 	EvTaskDispatch
-	// EvTaskComplete marks a task finishing on a core.
-	// Core, Cell, Slot, Task=kind, Dur=measured runtime, A=dag sequence.
+	// EvTaskComplete marks a task finishing on a core (Core>=0) or on the
+	// accelerator (Core=-1). Core, Cell, Slot, Task=kind, Dur=measured
+	// runtime, A=dag sequence, B=DAG-local task ID.
 	EvTaskComplete
 	// EvOffloadSpan records one accelerator request (emitted at submission;
 	// At is the device start time). Task=kind, Dur=device processing time,
@@ -84,14 +86,26 @@ const (
 	// A=fault class, B=action (0=cpu-fallback, 1=offload-retry, 2=abandon,
 	// 3=storm-yield), Cell/Slot/Task where applicable.
 	EvFaultRecover
+	// EvPredictSample carries one predicted-vs-observed WCET pair, emitted
+	// when a task's runtime becomes known (completion on a core or on the
+	// accelerator). Core carries the DAG-local task ID — not a core number —
+	// so the calibration monitor and the miss-cause attributor can join the
+	// sample back to its timeline. Cell, Slot, Task=kind, Dur=observed
+	// runtime, A=predicted WCET (ns), B=dag sequence.
+	EvPredictSample
 	numEventKinds
 )
+
+// NumEventKinds is the number of defined event kinds, exported for
+// exhaustiveness checks in tests and analysis tooling.
+const NumEventKinds = int(numEventKinds)
 
 var eventKindNames = [numEventKinds]string{
 	"dag_release", "task_enqueue", "task_dispatch", "task_complete",
 	"offload_span", "dag_complete", "deadline_miss", "dag_drop",
 	"core_acquire", "core_awake", "core_yield", "core_rotate",
 	"sched_decision", "interference", "fault_inject", "fault_recover",
+	"predict_sample",
 }
 
 // String implements fmt.Stringer.
@@ -100,6 +114,23 @@ func (k EventKind) String() string {
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
 	return eventKindNames[k]
+}
+
+// kindByName is the reverse of eventKindNames, built once on first use by
+// ParseEventKind (the CSV reader's hot path is still a map lookup).
+var kindByName = func() map[string]EventKind {
+	m := make(map[string]EventKind, numEventKinds)
+	for k := EventKind(0); k < numEventKinds; k++ {
+		m[eventKindNames[k]] = k
+	}
+	return m
+}()
+
+// ParseEventKind maps an event-kind name (the String form, as written by
+// WriteEventsCSV) back to its EventKind.
+func ParseEventKind(s string) (EventKind, bool) {
+	k, ok := kindByName[s]
+	return k, ok
 }
 
 // Event is one timeline record. Unused fields hold -1 (Core, Cell, Slot,

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint tools check bench
+.PHONY: build test lint tools check bench bench-diff
 
 build:
 	$(GO) build ./...
@@ -56,5 +56,15 @@ check: lint
 # stats, distilled into BENCH_pool.json (schema in EXPERIMENTS.md) so the
 # perf trajectory is tracked commit over commit. benchjson echoes the stream
 # through, fails on FAIL lines, and refuses to write an empty trajectory.
+# The committed trajectory is stashed first so bench-diff can gate against it.
 bench:
+	@cp BENCH_pool.json BENCH_prev.json 2>/dev/null || true
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -timeout 30m ./... | $(GO) run ./cmd/benchjson -o BENCH_pool.json
+
+# Alloc-regression gate (DESIGN.md §5f): compare the fresh trajectory against
+# the one committed before `make bench` ran; any benchmark whose allocs/op
+# grew more than 10% fails the target. ns/op deltas are printed but advisory
+# (shared CI runners make wall time too noisy to gate on).
+bench-diff:
+	@test -f BENCH_prev.json || { echo "bench-diff: run 'make bench' first (no BENCH_prev.json)"; exit 2; }
+	$(GO) run ./cmd/benchjson -diff BENCH_prev.json BENCH_pool.json

@@ -8,10 +8,16 @@
 // Usage:
 //
 //	go test -run '^$' -bench=. -benchmem -benchtime=1x ./... | benchjson -o BENCH_pool.json
+//	benchjson -diff old.json new.json
 //
 // benchjson exits non-zero when the stream contains a test failure or no
 // benchmark lines at all, so a broken `make bench` cannot publish an empty
 // trajectory.
+//
+// The -diff mode compares two trajectory documents benchmark by benchmark,
+// printing ns/op and allocs/op deltas, and exits non-zero when any
+// benchmark's allocs/op regressed by more than 10% — the repo's
+// alloc-regression gate (DESIGN.md §5f).
 package main
 
 import (
@@ -127,10 +133,123 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	return b, seen
 }
 
+// allocRegressionLimit is the fractional allocs/op growth tolerated by
+// -diff before it fails: new > old·(1+limit) is a regression. A benchmark
+// that was allocation-free must stay allocation-free (10% of zero is zero).
+const allocRegressionLimit = 0.10
+
+// benchKey identifies a benchmark across trajectory documents. The name
+// includes the -cpu suffix (e.g. "-8"), so runs from differently shaped
+// machines compare as disjoint sets rather than silently mismatching.
+type benchKey struct {
+	pkg, name string
+}
+
+// loadTrajectory reads one BENCH_pool.json-format document.
+func loadTrajectory(path string) (*Trajectory, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trajectory{}
+	if err := json.Unmarshal(buf, tr); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// pctDelta returns the percentage change from old to new. The ok result is
+// false when old is zero and the change is therefore unrepresentable as a
+// percentage (callers print the raw values instead).
+func pctDelta(oldV, newV float64) (pct float64, ok bool) {
+	if oldV == 0 {
+		return 0, newV == 0
+	}
+	return (newV - oldV) / oldV * 100, true
+}
+
+// diff compares two trajectories benchmark by benchmark, writing one delta
+// line per shared benchmark to w, and returns the benchmarks whose allocs/op
+// regressed past allocRegressionLimit. Benchmarks present in only one
+// document are reported but never fatal: the suite is allowed to grow and
+// shrink; only a shared benchmark getting hungrier trips the gate.
+func diff(oldTr, newTr *Trajectory, w io.Writer) (regressed []string) {
+	oldBy := make(map[benchKey]Benchmark, len(oldTr.Benchmarks))
+	for _, b := range oldTr.Benchmarks {
+		oldBy[benchKey{b.Package, b.Name}] = b
+	}
+	matched := make(map[benchKey]bool, len(newTr.Benchmarks))
+	for _, nb := range newTr.Benchmarks {
+		k := benchKey{nb.Package, nb.Name}
+		ob, ok := oldBy[k]
+		if !ok {
+			fmt.Fprintf(w, "+ %s %s: only in new\n", nb.Package, nb.Name)
+			continue
+		}
+		matched[k] = true
+		line := fmt.Sprintf("  %s %s: ns/op %.4g -> %.4g", nb.Package, nb.Name, ob.NsPerOp, nb.NsPerOp)
+		if pct, ok := pctDelta(ob.NsPerOp, nb.NsPerOp); ok {
+			line += fmt.Sprintf(" (%+.1f%%)", pct)
+		}
+		if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil {
+			oa, na := *ob.AllocsPerOp, *nb.AllocsPerOp
+			line += fmt.Sprintf(", allocs/op %.6g -> %.6g", oa, na)
+			pct, ok := pctDelta(oa, na)
+			if ok && oa != 0 {
+				line += fmt.Sprintf(" (%+.1f%%)", pct)
+			}
+			if na > oa*(1+allocRegressionLimit) {
+				line += "  REGRESSION"
+				regressed = append(regressed, k.pkg+" "+k.name)
+			}
+		}
+		fmt.Fprintln(w, line)
+	}
+	for _, ob := range oldTr.Benchmarks {
+		if k := (benchKey{ob.Package, ob.Name}); !matched[k] {
+			fmt.Fprintf(w, "- %s %s: only in old\n", ob.Package, ob.Name)
+		}
+	}
+	return regressed
+}
+
+// runDiff is the -diff entry point; returns the process exit code.
+func runDiff(oldPath, newPath string, w io.Writer) int {
+	oldTr, err := loadTrajectory(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	newTr, err := loadTrajectory(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	regressed := diff(oldTr, newTr, w)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: allocs/op regressed >%.0f%% in %d benchmark(s):\n",
+			allocRegressionLimit*100, len(regressed))
+		for _, name := range regressed {
+			fmt.Fprintln(os.Stderr, "  "+name)
+		}
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	out := flag.String("o", "BENCH_pool.json", "output JSON path")
 	quiet := flag.Bool("q", false, "do not echo the benchmark stream to stdout")
+	diffMode := flag.Bool("diff", false, "compare two trajectory JSON files: -diff old.json new.json")
 	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff wants exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), os.Stdout))
+	}
 
 	var echo io.Writer
 	if !*quiet {

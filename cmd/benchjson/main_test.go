@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -71,6 +73,105 @@ func TestParseRejectsFailure(t *testing.T) {
 	in := "BenchmarkX-8 1 5 ns/op\nFAIL\nexit status 1\n"
 	if _, err := parse(strings.NewReader(in), nil); err == nil {
 		t.Error("FAIL stream accepted")
+	}
+}
+
+func fp(v float64) *float64 { return &v }
+
+func trWith(benches ...Benchmark) *Trajectory {
+	return &Trajectory{SchemaVersion: 1, Benchmarks: benches}
+}
+
+func TestDiffPassesWithinTolerance(t *testing.T) {
+	oldTr := trWith(
+		Benchmark{Package: "p", Name: "BenchmarkA-8", NsPerOp: 100, AllocsPerOp: fp(1000)},
+		Benchmark{Package: "p", Name: "BenchmarkZero-8", NsPerOp: 5, AllocsPerOp: fp(0)},
+	)
+	newTr := trWith(
+		// +10% exactly is within tolerance (the gate is strictly greater).
+		Benchmark{Package: "p", Name: "BenchmarkA-8", NsPerOp: 150, AllocsPerOp: fp(1100)},
+		Benchmark{Package: "p", Name: "BenchmarkZero-8", NsPerOp: 6, AllocsPerOp: fp(0)},
+	)
+	var buf bytes.Buffer
+	if reg := diff(oldTr, newTr, &buf); len(reg) != 0 {
+		t.Errorf("regressions: %v\n%s", reg, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ns/op 100 -> 150 (+50.0%)") {
+		t.Errorf("missing ns/op delta:\n%s", out)
+	}
+	if !strings.Contains(out, "allocs/op 1000 -> 1100 (+10.0%)") {
+		t.Errorf("missing allocs/op delta:\n%s", out)
+	}
+}
+
+func TestDiffFlagsAllocRegression(t *testing.T) {
+	oldTr := trWith(Benchmark{Package: "p", Name: "BenchmarkA-8", NsPerOp: 100, AllocsPerOp: fp(1000)})
+	newTr := trWith(Benchmark{Package: "p", Name: "BenchmarkA-8", NsPerOp: 90, AllocsPerOp: fp(1101)})
+	var buf bytes.Buffer
+	reg := diff(oldTr, newTr, &buf)
+	if len(reg) != 1 || reg[0] != "p BenchmarkA-8" {
+		t.Errorf("regressions: %v", reg)
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("missing REGRESSION marker:\n%s", buf.String())
+	}
+}
+
+func TestDiffZeroAllocMustStayZero(t *testing.T) {
+	// 10% of zero is zero: a formerly allocation-free benchmark that now
+	// allocates at all is a regression.
+	oldTr := trWith(Benchmark{Package: "p", Name: "BenchmarkHot-8", NsPerOp: 5, AllocsPerOp: fp(0)})
+	newTr := trWith(Benchmark{Package: "p", Name: "BenchmarkHot-8", NsPerOp: 5, AllocsPerOp: fp(1)})
+	if reg := diff(oldTr, newTr, io.Discard); len(reg) != 1 {
+		t.Errorf("regressions: %v", reg)
+	}
+}
+
+func TestDiffIgnoresUnmatchedAndMissingMemstats(t *testing.T) {
+	oldTr := trWith(
+		Benchmark{Package: "p", Name: "BenchmarkGone-8", NsPerOp: 1, AllocsPerOp: fp(9)},
+		Benchmark{Package: "p", Name: "BenchmarkNoMem-8", NsPerOp: 2},
+	)
+	newTr := trWith(
+		Benchmark{Package: "p", Name: "BenchmarkNoMem-8", NsPerOp: 3},
+		Benchmark{Package: "p", Name: "BenchmarkNew-8", NsPerOp: 4, AllocsPerOp: fp(99)},
+	)
+	var buf bytes.Buffer
+	if reg := diff(oldTr, newTr, &buf); len(reg) != 0 {
+		t.Errorf("regressions: %v", reg)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "- p BenchmarkGone-8: only in old") ||
+		!strings.Contains(out, "+ p BenchmarkNew-8: only in new") {
+		t.Errorf("missing only-in markers:\n%s", out)
+	}
+}
+
+func TestRunDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, tr *Trajectory) string {
+		buf, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := dir + "/" + name
+		if err := os.WriteFile(p, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldP := write("old.json", trWith(Benchmark{Package: "p", Name: "B-8", NsPerOp: 1, AllocsPerOp: fp(10)}))
+	okP := write("ok.json", trWith(Benchmark{Package: "p", Name: "B-8", NsPerOp: 1, AllocsPerOp: fp(5)}))
+	badP := write("bad.json", trWith(Benchmark{Package: "p", Name: "B-8", NsPerOp: 1, AllocsPerOp: fp(100)}))
+	if code := runDiff(oldP, okP, io.Discard); code != 0 {
+		t.Errorf("improvement exited %d", code)
+	}
+	if code := runDiff(oldP, badP, io.Discard); code != 1 {
+		t.Errorf("regression exited %d", code)
+	}
+	if code := runDiff(dir+"/missing.json", okP, io.Discard); code != 1 {
+		t.Errorf("missing file exited %d", code)
 	}
 }
 

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestChaosPredCalWorkerDeterminism asserts the chaos and predcal harnesses
+// inherit the repo's byte-identity guarantee (DESIGN.md §2): the survival
+// table, calibration table and both CSV series are the same bytes whether
+// the experiment jobs run serially or fan out across 2 or 8 workers. This is
+// the experiment-level gate for the zero-alloc refactor — buffer reuse in
+// the hot path must never leak state between concurrently running jobs.
+func TestChaosPredCalWorkerDeterminism(t *testing.T) {
+	base := quick(t)
+	base.Scale = 0.02
+	type capture struct {
+		workers                              int
+		chaosTab, chaosCSV, predTab, predCSV []byte
+	}
+	var captures []capture
+	for _, w := range []int{1, 2, 8} {
+		o := base
+		o.Workers = w
+		cr, err := RunChaos(o, "sweep")
+		if err != nil {
+			t.Fatalf("Workers=%d chaos: %v", w, err)
+		}
+		pr, err := RunPredCal(o)
+		if err != nil {
+			t.Fatalf("Workers=%d predcal: %v", w, err)
+		}
+		var ccsv, pcsv bytes.Buffer
+		if err := WriteCSV(cr, &ccsv); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCSV(pr, &pcsv); err != nil {
+			t.Fatal(err)
+		}
+		c := capture{
+			workers:  w,
+			chaosTab: []byte(cr.String()),
+			chaosCSV: ccsv.Bytes(),
+			predTab:  []byte(pr.String()),
+			predCSV:  pcsv.Bytes(),
+		}
+		if len(c.chaosTab) == 0 || len(c.chaosCSV) == 0 || len(c.predTab) == 0 || len(c.predCSV) == 0 {
+			t.Fatalf("Workers=%d: empty artifact", w)
+		}
+		captures = append(captures, c)
+	}
+	ref := captures[0]
+	for _, c := range captures[1:] {
+		if !bytes.Equal(ref.chaosTab, c.chaosTab) {
+			t.Errorf("chaos table differs between Workers=1 and Workers=%d", c.workers)
+		}
+		if !bytes.Equal(ref.chaosCSV, c.chaosCSV) {
+			t.Errorf("chaos CSV differs between Workers=1 and Workers=%d", c.workers)
+		}
+		if !bytes.Equal(ref.predTab, c.predTab) {
+			t.Errorf("predcal table differs between Workers=1 and Workers=%d", c.workers)
+		}
+		if !bytes.Equal(ref.predCSV, c.predCSV) {
+			t.Errorf("predcal CSV differs between Workers=1 and Workers=%d", c.workers)
+		}
+	}
+}

@@ -92,6 +92,11 @@ type OFDM struct {
 	// norm scales the time-domain signal to unit average sample power for
 	// unit-power constellation symbols, so channel SNR references hold.
 	norm float64
+	// grid is the scratch for the Append variants; Modulate/Demodulate keep
+	// allocating so they stay safe for concurrent use, while the Append
+	// methods trade that for a zero-alloc steady state (one caller at a
+	// time per OFDM value).
+	grid []complex128
 }
 
 // NewOFDM builds an OFDM (de)modulator with fftSize points, cpLen
@@ -167,4 +172,55 @@ func (o *OFDM) Demodulate(samples []complex128) ([]complex128, error) {
 		out[c] = grid[o.carrierIndex(c)] * scale
 	}
 	return out, nil
+}
+
+func (o *OFDM) scratchGrid() []complex128 {
+	if o.grid == nil {
+		o.grid = make([]complex128, o.fft.n)
+	}
+	return o.grid
+}
+
+// ModulateAppend is Modulate appending the time-domain symbol to dst using
+// the internal scratch grid (see the grid field for the concurrency
+// trade-off). Bit-for-bit identical to Modulate.
+func (o *OFDM) ModulateAppend(dst, symbols []complex128) ([]complex128, error) {
+	if len(symbols) != o.carriers {
+		return nil, errors.New("phy: OFDM modulate carrier count mismatch")
+	}
+	grid := o.scratchGrid()
+	for i := range grid {
+		grid[i] = 0
+	}
+	for c, s := range symbols {
+		grid[o.carrierIndex(c)] = s
+	}
+	if err := o.fft.Inverse(grid); err != nil {
+		return nil, err
+	}
+	scale := complex(o.norm, 0)
+	for i := range grid {
+		grid[i] *= scale
+	}
+	dst = append(dst, grid[o.fft.n-o.cpLen:]...)
+	dst = append(dst, grid...)
+	return dst, nil
+}
+
+// DemodulateAppend is Demodulate appending the active-subcarrier symbols to
+// dst using the internal scratch grid. Bit-for-bit identical to Demodulate.
+func (o *OFDM) DemodulateAppend(dst, samples []complex128) ([]complex128, error) {
+	if len(samples) != o.SymbolLength() {
+		return nil, errors.New("phy: OFDM demodulate length mismatch")
+	}
+	grid := o.scratchGrid()
+	copy(grid, samples[o.cpLen:])
+	if err := o.fft.Forward(grid); err != nil {
+		return nil, err
+	}
+	scale := complex(1/o.norm, 0)
+	for c := 0; c < o.carriers; c++ {
+		dst = append(dst, grid[o.carrierIndex(c)]*scale)
+	}
+	return dst, nil
 }

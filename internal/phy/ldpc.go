@@ -193,9 +193,21 @@ type DecodeResult struct {
 // of the LLRs: the worker that performs the decode never changes the bits
 // or iteration count.
 func (c *LDPCCode) Decode(llr []float64) (*DecodeResult, error) {
+	res := new(DecodeResult)
+	if err := c.DecodeInto(res, llr); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DecodeInto is Decode with a caller-owned result: res.Info's capacity is
+// reused across calls, so steady-state decoding of same-size codeblocks
+// allocates nothing (DESIGN.md §5f). Concurrent DecodeInto calls on one code
+// are safe as long as each goroutine owns its res.
+func (c *LDPCCode) DecodeInto(res *DecodeResult, llr []float64) error {
 	n := c.N()
 	if len(llr) != n {
-		return nil, fmt.Errorf("phy: LDPC decode wants %d LLRs, got %d", n, len(llr))
+		return fmt.Errorf("phy: LDPC decode wants %d LLRs, got %d", n, len(llr))
 	}
 	const alpha = 0.8 // min-sum normalization factor
 
@@ -267,10 +279,16 @@ func (c *LDPCCode) Decode(llr []float64) (*DecodeResult, error) {
 			}
 		}
 		if c.CheckSyndrome(hard) {
-			return &DecodeResult{Info: append([]byte(nil), hard[:c.K]...), Iterations: iter, Converged: true}, nil
+			res.Info = append(res.Info[:0], hard[:c.K]...)
+			res.Iterations = iter
+			res.Converged = true
+			return nil
 		}
 	}
-	return &DecodeResult{Info: append([]byte(nil), hard[:c.K]...), Iterations: MaxLDPCIterations, Converged: false}, nil
+	res.Info = append(res.Info[:0], hard[:c.K]...)
+	res.Iterations = MaxLDPCIterations
+	res.Converged = false
+	return nil
 }
 
 // ErrBlockTooLarge is returned when a requested codeblock exceeds the 38.212

@@ -90,10 +90,47 @@ func (m Modulation) Modulate(bits []byte) ([]complex128, error) {
 	return out, nil
 }
 
+// llrTable caches the per-dimension constellation geometry DemodulateLLR
+// needs — PAM amplitudes and Gray-coded bit labels per level. Built once per
+// supported modulation at package init and read-only afterwards, so the
+// demodulation hot path allocates nothing.
+type llrTable struct {
+	amp  []float64
+	bits [][]byte
+}
+
+var llrTables [QAM256 + 1]*llrTable
+
+func init() {
+	for _, m := range []Modulation{QPSK, QAM16, QAM64, QAM256} {
+		perDim := m.BitsPerSymbol() / 2
+		levels, norm := m.pamParams()
+		t := &llrTable{amp: make([]float64, levels), bits: make([][]byte, levels)}
+		for idx := 0; idx < levels; idx++ {
+			// binary index -> Gray bits
+			g := idx ^ (idx >> 1)
+			bs := make([]byte, perDim)
+			for b := 0; b < perDim; b++ {
+				bs[b] = byte((g >> (perDim - 1 - b)) & 1)
+			}
+			t.amp[idx] = float64(2*idx-levels+1) / norm
+			t.bits[idx] = bs
+		}
+		llrTables[m] = t
+	}
+}
+
 // DemodulateLLR computes per-bit max-log-MAP LLRs for received symbols under
 // AWGN with the given noise variance (per complex dimension). Positive LLR
 // means bit 0 is more likely.
 func (m Modulation) DemodulateLLR(symbols []complex128, noiseVar float64) ([]float64, error) {
+	return m.DemodulateLLRInto(nil, symbols, noiseVar)
+}
+
+// DemodulateLLRInto is DemodulateLLR writing into dst's storage: dst's
+// capacity is reused when it suffices, so steady-state demodulation of
+// same-size grids allocates nothing.
+func (m Modulation) DemodulateLLRInto(dst []float64, symbols []complex128, noiseVar float64) ([]float64, error) {
 	if !m.Valid() {
 		return nil, fmt.Errorf("phy: invalid modulation %d", int(m))
 	}
@@ -102,23 +139,15 @@ func (m Modulation) DemodulateLLR(symbols []complex128, noiseVar float64) ([]flo
 	}
 	bps := m.BitsPerSymbol()
 	perDim := bps / 2
-	levels, norm := m.pamParams()
+	tab := llrTables[m]
+	amp, bits := tab.amp, tab.bits
+	levels := len(amp)
 
-	// Precompute per-dimension constellation points and their Gray bits.
-	amp := make([]float64, levels)
-	bits := make([][]byte, levels)
-	for idx := 0; idx < levels; idx++ {
-		// binary index -> Gray bits
-		g := idx ^ (idx >> 1)
-		bs := make([]byte, perDim)
-		for b := 0; b < perDim; b++ {
-			bs[b] = byte((g >> (perDim - 1 - b)) & 1)
-		}
-		amp[idx] = float64(2*idx-levels+1) / norm
-		bits[idx] = bs
+	n := len(symbols) * bps
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
-
-	out := make([]float64, len(symbols)*bps)
+	out := dst[:n]
 	for s, sym := range symbols {
 		for dim := 0; dim < 2; dim++ {
 			y := real(sym)

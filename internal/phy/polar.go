@@ -3,7 +3,9 @@ package phy
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
+	"sync"
 )
 
 // PolarCode implements Arikan polar coding as used by 5G NR control
@@ -15,6 +17,39 @@ type PolarCode struct {
 	frozen []bool
 	// infoPos lists the K reliable positions in increasing index order.
 	infoPos []int
+	// scratch pools per-decode working buffers (one set per concurrent
+	// decoder), keeping steady-state SC decoding allocation-free.
+	scratch sync.Pool
+}
+
+// polarScratch preallocates the SC recursion's working state: one f/g LLR
+// workspace and a pair of partial-sum buffers per recursion depth, plus the
+// u-domain decision vector. Total footprint is O(N) despite the recursion.
+type polarScratch struct {
+	f     [][]float64 // per-depth: f first, then reused for g
+	left  [][]byte    // per-depth: first-half partial sums (u1)
+	right [][]byte    // per-depth: second-half partial sums (u2)
+	u     []byte      // decided u-domain bits by global position
+	top   []byte      // root-level partial sums (discarded)
+	pos   int
+}
+
+func (c *PolarCode) newScratch() *polarScratch {
+	levels := bits.Len(uint(c.N)) - 1 // log2 N
+	s := &polarScratch{
+		f:     make([][]float64, levels),
+		left:  make([][]byte, levels),
+		right: make([][]byte, levels),
+		u:     make([]byte, c.N),
+		top:   make([]byte, c.N),
+	}
+	for d := 0; d < levels; d++ {
+		half := c.N >> (d + 1)
+		s.f[d] = make([]float64, half)
+		s.left[d] = make([]byte, half)
+		s.right[d] = make([]byte, half)
+	}
+	return s
 }
 
 // NewPolarCode constructs an (N, K) polar code. designSNRdB sets the channel
@@ -54,6 +89,7 @@ func NewPolarCode(n, k int, designSNRdB float64) (*PolarCode, error) {
 		c.frozen[p] = false
 	}
 	c.infoPos = info
+	c.scratch.New = func() any { return c.newScratch() }
 	return c, nil
 }
 
@@ -84,63 +120,77 @@ func (c *PolarCode) Encode(info []byte) ([]byte, error) {
 // Decode runs successive-cancellation decoding on channel LLRs (positive ⇒
 // bit 0) and returns the K recovered information bits.
 func (c *PolarCode) Decode(llr []float64) ([]byte, error) {
+	return c.DecodeInto(nil, llr)
+}
+
+// DecodeInto is Decode writing the information bits into dst's storage
+// (capacity reused when it suffices). The recursion runs entirely on pooled
+// scratch buffers, so steady-state decoding allocates nothing; concurrent
+// DecodeInto calls on one code are safe as long as each goroutine owns its
+// dst.
+func (c *PolarCode) DecodeInto(dst []byte, llr []float64) ([]byte, error) {
 	if len(llr) != c.N {
 		return nil, fmt.Errorf("phy: polar decode wants %d LLRs, got %d", c.N, len(llr))
 	}
-	d := &scDecoder{code: c, u: make([]byte, c.N)}
-	d.decode(append([]float64(nil), llr...))
-	out := make([]byte, c.K)
-	for i, p := range c.infoPos {
-		out[i] = d.u[p]
+	s := c.scratch.Get().(*polarScratch)
+	s.pos = 0
+	c.scDecode(s, llr, 0, s.top)
+	if cap(dst) < c.K {
+		dst = make([]byte, c.K)
 	}
-	return out, nil
+	dst = dst[:c.K]
+	for i, p := range c.infoPos {
+		dst[i] = s.u[p]
+	}
+	c.scratch.Put(s)
+	return dst, nil
 }
 
-type scDecoder struct {
-	code *PolarCode
-	pos  int
-	u    []byte // decided u-domain bits, indexed by global position
-}
-
-// decode performs recursive SC decoding over the given LLR block. It records
-// u-domain decisions in d.u and returns the x-domain partial sums of the
-// block, which the parent stage needs for its g-function.
-func (d *scDecoder) decode(llr []float64) []byte {
+// scDecode performs recursive SC decoding of the llr block at the given
+// recursion depth. It records u-domain decisions in s.u and writes the
+// block's x-domain partial sums into dst (length len(llr)), which the parent
+// stage needs for its g-function. llr is read-only; all working storage
+// comes from the per-depth scratch buffers, with the f buffer reused for g
+// once the first half-block is decided.
+func (c *PolarCode) scDecode(s *polarScratch, llr []float64, depth int, dst []byte) {
 	n := len(llr)
 	if n == 1 {
 		bit := byte(0)
-		if d.code.frozen[d.pos] {
+		if c.frozen[s.pos] {
 			// Frozen bits are known zeros.
 		} else if llr[0] < 0 {
 			bit = 1
 		}
-		d.u[d.pos] = bit
-		d.pos++
-		return []byte{bit}
+		s.u[s.pos] = bit
+		s.pos++
+		dst[0] = bit
+		return
 	}
 	half := n / 2
 	// f: min-sum approximation of the check-node combine.
-	f := make([]float64, half)
+	f := s.f[depth]
 	for i := 0; i < half; i++ {
 		a, b := llr[i], llr[i+half]
-		s := 1.0
+		sign := 1.0
 		if a < 0 {
-			s = -s
+			sign = -sign
 			a = -a
 		}
 		if b < 0 {
-			s = -s
+			sign = -sign
 			b = -b
 		}
 		m := a
 		if b < m {
 			m = b
 		}
-		f[i] = s * m
+		f[i] = sign * m
 	}
-	u1 := d.decode(f)
-	// g: bit-node combine given the decisions u1.
-	g := make([]float64, half)
+	u1 := s.left[depth]
+	c.scDecode(s, f, depth+1, u1)
+	// g: bit-node combine given the decisions u1. f is dead once the first
+	// recursion returns, so g reuses its buffer.
+	g := f
 	for i := 0; i < half; i++ {
 		if u1[i] == 1 {
 			g[i] = llr[i+half] - llr[i]
@@ -148,12 +198,11 @@ func (d *scDecoder) decode(llr []float64) []byte {
 			g[i] = llr[i+half] + llr[i]
 		}
 	}
-	u2 := d.decode(g)
+	u2 := s.right[depth]
+	c.scDecode(s, g, depth+1, u2)
 	// Partial sums for the parent: [β1 ⊕ β2 | β2].
-	out := make([]byte, n)
 	for i := 0; i < half; i++ {
-		out[i] = u1[i] ^ u2[i]
-		out[i+half] = u2[i]
+		dst[i] = u1[i] ^ u2[i]
+		dst[i+half] = u2[i]
 	}
-	return out
 }

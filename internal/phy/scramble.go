@@ -69,16 +69,29 @@ func (s *Scrambler) Scramble(bits []byte) []byte {
 // ScrambleLLR applies descrambling in the soft domain: sequence bit 1 flips
 // the LLR sign.
 func (s *Scrambler) ScrambleLLR(llr []float64) []float64 {
-	g := NewGoldSequence(s.cInit)
-	out := make([]float64, len(llr))
+	return s.ScrambleLLRInto(make([]float64, len(llr)), llr)
+}
+
+// ScrambleLLRInto is ScrambleLLR writing into dst's storage; dst may alias
+// llr for in-place descrambling (sign flips are positionwise). The returned
+// slice is dst resized to len(llr).
+func (s *Scrambler) ScrambleLLRInto(dst, llr []float64) []float64 {
+	g := GoldSequence{x1: 1, x2: s.cInit & 0x7fffffff}
+	for i := 0; i < goldAdvance; i++ {
+		g.step()
+	}
+	if cap(dst) < len(llr) {
+		dst = make([]float64, len(llr))
+	}
+	dst = dst[:len(llr)]
 	for i, v := range llr {
-		if g.Next() == 1 {
-			out[i] = -v
+		if g.step() == 1 {
+			dst[i] = -v
 		} else {
-			out[i] = v
+			dst[i] = v
 		}
 	}
-	return out
+	return dst
 }
 
 // CInitFor computes the standard data-channel c_init from RNTI, codeword

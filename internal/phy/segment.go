@@ -127,10 +127,22 @@ func (rm *RateMatcher) Match(codeword []byte) ([]byte, error) {
 // positions: repeated transmissions add (chase combining), punctured
 // positions stay at zero (erasure).
 func (rm *RateMatcher) Dematch(llr []float64) ([]float64, error) {
+	return rm.DematchInto(nil, llr)
+}
+
+// DematchInto is Dematch writing into dst's storage (capacity reused when it
+// suffices, so steady-state dematching allocates nothing).
+func (rm *RateMatcher) DematchInto(dst, llr []float64) ([]float64, error) {
 	if len(llr) != rm.E {
 		return nil, fmt.Errorf("phy: rate dematch wants %d LLRs, got %d", rm.E, len(llr))
 	}
-	out := make([]float64, rm.N)
+	if cap(dst) < rm.N {
+		dst = make([]float64, rm.N)
+	}
+	out := dst[:rm.N]
+	for i := range out {
+		out[i] = 0
+	}
 	for i, v := range llr {
 		out[i%rm.N] += v
 	}

@@ -30,6 +30,17 @@ type Transceiver struct {
 	paddedBits int
 	// workers bounds the goroutines decoding codeblocks in Receive.
 	workers int
+
+	// Receive-path scratch (DESIGN.md §5f): grid symbols, LLRs, and one
+	// dematch/decode slot per codeblock so the parallel workers stay on
+	// disjoint storage. A Transceiver processes one transport block at a
+	// time — Receive is not safe for concurrent calls on the same instance
+	// (the codeblock fan-out happens internally).
+	rxSyms   []complex128
+	rxLLR    []float64
+	rxAcc    [][]float64
+	rxDec    []DecodeResult
+	rxBlocks [][]byte
 }
 
 // TransceiverConfig sizes the chain.
@@ -164,51 +175,61 @@ type RxResult struct {
 
 // Receive runs the RX chain over time-domain samples with the given channel
 // noise variance. Codeblocks decode independently — they share only the
-// immutable code and rate matcher — so they fan out across the configured
-// worker count, with results collected in codeblock order; the output is
-// bit-for-bit identical for any Workers setting.
+// immutable code and rate matcher, and each writes to its own scratch slot —
+// so they fan out across the configured worker count with results collected
+// in codeblock order; the output is bit-for-bit identical for any Workers
+// setting. All intermediate buffers are reused across calls, so the
+// steady-state RX chain allocates only the returned result.
 func (t *Transceiver) Receive(samples []complex128, noiseVar float64) (*RxResult, error) {
 	symLen := t.ofdm.SymbolLength()
 	if len(samples)%symLen != 0 {
 		return nil, errors.New("phy: samples not a whole number of OFDM symbols")
 	}
-	syms := make([]complex128, 0, len(samples)/symLen*t.ofdm.carriers)
+	syms := t.rxSyms[:0]
 	for start := 0; start < len(samples); start += symLen {
-		freq, err := t.ofdm.Demodulate(samples[start : start+symLen])
+		var err error
+		syms, err = t.ofdm.DemodulateAppend(syms, samples[start:start+symLen])
 		if err != nil {
 			return nil, err
 		}
-		syms = append(syms, freq...)
 	}
+	t.rxSyms = syms
 	effNoise := noiseVar * float64(t.ofdm.carriers) / float64(t.ofdm.fft.n)
-	llr, err := t.Mod.DemodulateLLR(syms, effNoise)
+	llr, err := t.Mod.DemodulateLLRInto(t.rxLLR, syms, effNoise)
 	if err != nil {
 		return nil, err
 	}
+	t.rxLLR = llr
 	need := t.paddedBits * t.seg.NumBlocks
 	if len(llr) < need {
 		return nil, errors.New("phy: received fewer soft bits than transmitted")
 	}
-	// Trim OFDM grid padding, then descramble and split per codeblock.
-	descrambled := t.scrambler.ScrambleLLR(llr[:need])
-	decs, err := parallel.Map(t.workers, t.seg.NumBlocks, func(i int) (*DecodeResult, error) {
+	// Trim OFDM grid padding, then descramble in place (sign flips are
+	// positionwise) and split per codeblock.
+	descrambled := t.scrambler.ScrambleLLRInto(llr[:need], llr[:need])
+	if t.rxAcc == nil {
+		t.rxAcc = make([][]float64, t.seg.NumBlocks)
+		t.rxDec = make([]DecodeResult, t.seg.NumBlocks)
+		t.rxBlocks = make([][]byte, t.seg.NumBlocks)
+	}
+	err = parallel.ForEach(t.workers, t.seg.NumBlocks, func(i int) error {
 		chunk := descrambled[i*t.paddedBits : (i+1)*t.paddedBits]
-		acc, err := t.rm.Dematch(chunk)
+		acc, err := t.rm.DematchInto(t.rxAcc[i], chunk)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return t.code.Decode(acc)
+		t.rxAcc[i] = acc
+		return t.code.DecodeInto(&t.rxDec[i], acc)
 	})
 	if err != nil {
 		return nil, err
 	}
 	res := &RxResult{}
-	blocks := make([][]byte, t.seg.NumBlocks)
-	for i, dec := range decs {
-		res.TotalIterations += dec.Iterations
-		blocks[i] = dec.Info
+	for i := range t.rxDec {
+		res.TotalIterations += t.rxDec[i].Iterations
+		t.rxBlocks[i] = t.rxDec[i].Info
 	}
-	payload, ok := t.seg.Reassemble(blocks)
+	payload, ok := t.seg.Reassemble(t.rxBlocks)
 	res.Payload = payload
 	res.OK = ok
 	return res, nil

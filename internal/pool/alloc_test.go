@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"concordia/internal/faults"
+	"concordia/internal/ran"
 	"concordia/internal/scheduler"
 	"concordia/internal/sim"
 	"concordia/internal/telemetry"
@@ -44,6 +45,66 @@ func TestTelemetryOffMatchesBaseline(t *testing.T) {
 	instrumented := run(t, cfg, sim.Second).String()
 	if base != instrumented {
 		t.Error("telemetry changed the report output")
+	}
+}
+
+// TestEnqueueDispatchZeroAlloc pins the readyQueue contract (DESIGN.md §5f):
+// once the heap's backing array has grown, a full enqueue → dispatch scan →
+// drain cycle allocates nothing. The pool has no idle cores, so dispatch
+// runs its scan and leaves the tasks queued — exactly the saturated-slot
+// steady state where allocation churn would hurt most.
+func TestEnqueueDispatchZeroAlloc(t *testing.T) {
+	d := &ran.DAG{Deadline: 100 * sim.Microsecond}
+	run := &dagRun{dag: d}
+	const n = 32
+	nodes := make([]ran.Task, n)
+	tasks := make([]task, n)
+	for i := range tasks {
+		nodes[i] = ran.Task{ID: i}
+		tasks[i] = task{dag: run, node: &nodes[i], heapIndex: -1}
+	}
+	p := &Pool{queues: make([]readyQueue, 1)}
+	cycle := func() {
+		for i := range tasks {
+			p.enqueue(&tasks[i], sim.Time(i*7%13))
+		}
+		for p.queues[0].Len() > 0 {
+			p.queues[0].pop()
+		}
+	}
+	cycle() // grow the heap's backing array once
+	if a := testing.AllocsPerRun(100, cycle); a != 0 {
+		t.Errorf("warmed enqueue/dispatch cycle allocated %.1f per run, want 0", a)
+	}
+}
+
+// TestRunFreelistZeroAlloc pins the dagRun/DAG freelist contract: after the
+// first acquire grows the run table and task slab, the admit → retire →
+// recycle cycle allocates nothing and hands back the same recycled objects.
+func TestRunFreelistZeroAlloc(t *testing.T) {
+	p := &Pool{}
+	d := p.getDAG()
+	d.Tasks = make([]*ran.Task, 8) // acquireRun sizes the task slab from this
+	var first *dagRun
+	leaked := false
+	cycle := func() {
+		dag := p.getDAG()
+		run := p.acquireRun(dag)
+		if first == nil {
+			first = run
+		} else if run != first || dag != d {
+			leaked = true
+		}
+		run.retired = true
+		p.maybeRecycle(run)
+	}
+	p.putDAG(d)
+	cycle() // grow runTable, freeRuns, freeDAGs and the task slab once
+	if a := testing.AllocsPerRun(100, cycle); a != 0 {
+		t.Errorf("warmed run freelist cycle allocated %.1f per run, want 0", a)
+	}
+	if leaked {
+		t.Error("freelist cycle did not recycle the same dagRun/DAG objects")
 	}
 }
 

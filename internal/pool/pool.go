@@ -7,7 +7,6 @@
 package pool
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -184,10 +183,25 @@ type task struct {
 }
 
 // dagRun tracks one released DAG instance.
+//
+// Memory discipline (DESIGN.md §5f): dagRun objects live permanently in the
+// pool's runTable; a freelist of table indices recycles them. Each run's
+// task objects live in one slab (run.tasks) whose capacity is reused across
+// releases, so steady-state admission allocates nothing. A run is recycled —
+// and its *ran.DAG returned to the DAG freelist — only when it is retired
+// (finished, abandoned, or dropped) AND refs reaches zero, so no pending
+// event or core can ever observe a reused slab. Explicit freelists, not
+// sync.Pool: recycling order must be deterministic at any -workers.
 type dagRun struct {
+	id         int32  // index into Pool.runTable, stable for the pool's life
 	dag        *ran.DAG
-	tasks      []*task
+	tasks      []task // one backing slab; pointers into it stay valid per run
 	unfinished int
+	// refs counts live references from outside the run: tasks attached to a
+	// core (or in an accelerator submit window) and pending offload
+	// done/timeout/retry events. Guarded by retired for recycling.
+	refs    int
+	retired bool
 	// seq is the release sequence number, the stable identity telemetry
 	// events use to correlate a DAG's lifecycle across the trace.
 	seq int64
@@ -203,11 +217,16 @@ type dagRun struct {
 }
 
 // readyQueue is the EDF priority queue: earliest DAG deadline first, ties
-// broken by task order.
+// broken by task order. It is a hand-rolled binary heap over *task — no
+// container/heap, so push/pop never box through `any`. The sift routines
+// transcribe container/heap's up/down exactly: the EDF key is not a total
+// order (two cells' root tasks can tie on deadline, readyAt, and node ID),
+// so preserving the original algorithm preserves the original pop order for
+// tied elements — a byte-identity requirement, not a style choice.
 type readyQueue []*task
 
 func (q readyQueue) Len() int { return len(q) }
-func (q readyQueue) Less(i, j int) bool {
+func (q readyQueue) less(i, j int) bool {
 	if q[i].dag.dag.Deadline != q[j].dag.dag.Deadline {
 		return q[i].dag.dag.Deadline < q[j].dag.dag.Deadline
 	}
@@ -216,26 +235,77 @@ func (q readyQueue) Less(i, j int) bool {
 	}
 	return q[i].node.ID < q[j].node.ID
 }
-func (q readyQueue) Swap(i, j int) {
+func (q readyQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].heapIndex = i
 	q[j].heapIndex = j
 }
-func (q *readyQueue) Push(x any) {
-	t := x.(*task)
+
+func (q readyQueue) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !q.less(j, i) {
+			break
+		}
+		q.swap(i, j)
+		j = i
+	}
+}
+
+func (q readyQueue) down(i0, n int) bool {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && q.less(j2, j1) {
+			j = j2
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q.swap(i, j)
+		i = j
+	}
+	return i > i0
+}
+
+func (q *readyQueue) push(t *task) {
 	t.heapIndex = len(*q)
 	*q = append(*q, t)
+	q.up(len(*q) - 1)
 }
-func (q *readyQueue) Pop() any {
+
+func (q *readyQueue) pop() *task {
+	n := len(*q) - 1
+	q.swap(0, n)
+	q.down(0, n)
 	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+	t := old[n]
+	old[n] = nil
+	*q = old[:n]
 	// Restore the not-in-heap invariant so later membership checks
 	// (dropExpired, abandonDAG) never act on a stale index.
 	t.heapIndex = -1
 	return t
+}
+
+// removeAt deletes the element at heap index i (container/heap.Remove).
+func (q *readyQueue) removeAt(i int) {
+	n := len(*q) - 1
+	if n != i {
+		q.swap(i, n)
+		if !q.down(i, n) {
+			q.up(i)
+		}
+	}
+	old := *q
+	t := old[n]
+	old[n] = nil
+	*q = old[:n]
+	t.heapIndex = -1
 }
 
 // coreState tracks one physical core.
@@ -251,8 +321,8 @@ const (
 type core struct {
 	state     coreState
 	task      *task
-	wakeEv    *sim.Event
-	doneEv    *sim.Event
+	wakeEv    sim.EventHandle
+	doneEv    sim.EventHandle
 	busyEnd   sim.Time
 	wakeStart sim.Time
 	idleSince sim.Time
@@ -298,6 +368,25 @@ type Pool struct {
 	// flt is the deterministic fault injector; nil unless Config.Faults has
 	// at least one positive rate, so fault-free runs pay one nil check.
 	flt *faults.Injector
+
+	// Typed event kinds (DESIGN.md §5f): the common pool callbacks carry a
+	// core index or a (run ID, task ID) pair instead of a closure, so the
+	// steady-state event path allocates nothing.
+	kTaskDone         sim.EventKind
+	kOffloadSubmitted sim.EventKind
+	kOffloadDone      sim.EventKind
+	kOffloadTimeout   sim.EventKind
+	kCoreAwake        sim.EventKind
+
+	// runTable/freeRuns implement the dagRun freelist; freeDAGs recycles the
+	// slot-scoped *ran.DAG graphs (slabs, Deps/Succs capacity and all).
+	runTable []*dagRun
+	freeRuns []int32
+	freeDAGs []*ran.DAG
+	// slotAlloc reuses the per-slot UE allocation buffers.
+	slotAlloc ran.SlotAllocator
+	// stDAGs is the schedulerState scratch; policies must not retain it.
+	stDAGs []scheduler.DAGState
 }
 
 // New validates the configuration and builds the pool.
@@ -345,6 +434,11 @@ func New(cfg Config) (*Pool, error) {
 		queues: make([]readyQueue, nq),
 		report: newReport(cfg),
 	}
+	p.kTaskDone = p.eng.RegisterKind(func(a, _ int64) { p.onTaskDone(int(a)) })
+	p.kOffloadSubmitted = p.eng.RegisterKind(func(a, _ int64) { p.onOffloadSubmitted(int(a)) })
+	p.kOffloadDone = p.eng.RegisterKind(func(a, b int64) { p.onOffloadDone(&p.runTable[a].tasks[b]) })
+	p.kOffloadTimeout = p.eng.RegisterKind(func(a, b int64) { p.onOffloadTimeout(&p.runTable[a].tasks[b]) })
+	p.kCoreAwake = p.eng.RegisterKind(func(a, _ int64) { p.onCoreAwake(int(a)) })
 	if cfg.Faults != nil {
 		// The injector derives its seed as a pure substream of the pool seed:
 		// nothing is consumed from root, so enabling faults never perturbs
@@ -436,7 +530,7 @@ func (p *Pool) onSlot(now sim.Time) {
 			if ues > cell.MaxUEs {
 				ues = cell.MaxUEs
 			}
-			p.releaseDAG(ran.BuildMACDAG(cell, p.slotIndex, now, now+slotDur, ues))
+			p.releaseDAG(ran.BuildMACDAGInto(p.getDAG(), cell, p.slotIndex, now, now+slotDur, ues))
 		}
 		// Fronthaul faults act on the cell's PHY data for this TTI (the MAC
 		// above schedules from its own state and is unaffected). The DAGs are
@@ -446,7 +540,9 @@ func (p *Pool) onSlot(now sim.Time) {
 		if p.flt != nil {
 			if delay, drop := p.flt.Fronthaul(int64(i), int64(p.slotIndex)); drop {
 				p.faultTrace(now, faults.FronthaulDrop, int32(i), int32(p.slotIndex), -1, -1, 0)
-				release = func(d *ran.DAG) {}
+				// The graph was built (to keep the RNG stream aligned) but never
+				// admitted; hand it straight back to the freelist.
+				release = func(d *ran.DAG) { p.putDAG(d) }
 			} else if delay > 0 {
 				// Late arrival: the DAG keeps its on-time release stamp and
 				// deadline (the radio doesn't wait), but admission — and so
@@ -462,17 +558,17 @@ func (p *Pool) onSlot(now sim.Time) {
 		}
 		switch {
 		case cell.Duplex == ran.FDD:
-			release(buildDir(cell, p.slotIndex, now, deadline, ran.Uplink, ulBytes[i], p.rand))
-			release(buildDir(cell, p.slotIndex, now, deadline, ran.Downlink, dlBytes[i], p.rand))
+			release(p.buildDir(cell, p.slotIndex, now, deadline, ran.Uplink, ulBytes[i], p.rand))
+			release(p.buildDir(cell, p.slotIndex, now, deadline, ran.Downlink, dlBytes[i], p.rand))
 		default:
 			switch cell.SlotDir(p.slotIndex) {
 			case ran.Uplink:
-				release(buildDir(cell, p.slotIndex, now, deadline, ran.Uplink, ulBytes[i], p.rand))
+				release(p.buildDir(cell, p.slotIndex, now, deadline, ran.Uplink, ulBytes[i], p.rand))
 			case ran.Downlink:
-				release(buildDir(cell, p.slotIndex, now, deadline, ran.Downlink, dlBytes[i], p.rand))
+				release(p.buildDir(cell, p.slotIndex, now, deadline, ran.Downlink, dlBytes[i], p.rand))
 			case ran.Special:
 				// Special slots carry guard symbols plus reduced downlink.
-				release(buildDir(cell, p.slotIndex, now, deadline, ran.Downlink, dlBytes[i]/2, p.rand))
+				release(p.buildDir(cell, p.slotIndex, now, deadline, ran.Downlink, dlBytes[i]/2, p.rand))
 			}
 		}
 	}
@@ -498,19 +594,82 @@ func (p *Pool) onSlot(now sim.Time) {
 	p.utilEWMA = 0.8*p.utilEWMA + 0.2*u
 }
 
+// getDAG pops a recycled DAG (slab and scratch capacity intact) or
+// allocates a fresh one.
+func (p *Pool) getDAG() *ran.DAG {
+	if n := len(p.freeDAGs); n > 0 {
+		d := p.freeDAGs[n-1]
+		p.freeDAGs = p.freeDAGs[:n-1]
+		return d
+	}
+	return new(ran.DAG)
+}
+
+// putDAG returns a DAG to the freelist. LIFO order: deterministic and
+// cache-warm.
+func (p *Pool) putDAG(d *ran.DAG) {
+	if d != nil {
+		p.freeDAGs = append(p.freeDAGs, d)
+	}
+}
+
+// acquireRun pops a recycled dagRun (or grows the table) and resets it for
+// d. Every task field is overwritten at admission, so a recycled slab leaks
+// nothing between runs.
+func (p *Pool) acquireRun(d *ran.DAG) *dagRun {
+	var run *dagRun
+	if n := len(p.freeRuns); n > 0 {
+		run = p.runTable[p.freeRuns[n-1]]
+		p.freeRuns = p.freeRuns[:n-1]
+	} else {
+		run = &dagRun{id: int32(len(p.runTable))}
+		p.runTable = append(p.runTable, run)
+	}
+	n := len(d.Tasks)
+	if cap(run.tasks) < n {
+		run.tasks = make([]task, n)
+	}
+	run.tasks = run.tasks[:n]
+	run.dag = d
+	run.unfinished = n
+	run.refs = 0
+	run.retired = false
+	run.seq = 0
+	run.remainingWork = 0
+	run.dropped = false
+	run.cpuTime = 0
+	run.offloadTime = 0
+	return run
+}
+
+// maybeRecycle returns a retired, unreferenced run (and its DAG) to the
+// freelists. Callers invoke it wherever a reference drops; the guard makes
+// over-calling harmless.
+func (p *Pool) maybeRecycle(run *dagRun) {
+	if !run.retired || run.refs != 0 {
+		return
+	}
+	run.retired = false // also guards against a double recycle
+	p.putDAG(run.dag)
+	run.dag = nil
+	p.freeRuns = append(p.freeRuns, run.id)
+}
+
 // buildDir constructs the DAG for one direction, or nil for an idle slot.
-func buildDir(cell ran.CellConfig, slot int, release, deadline sim.Time, dir ran.SlotDir, bytes int, r *rng.Rand) *ran.DAG {
+// The graph comes from the DAG freelist; ownership passes to the released
+// run (or back to the freelist on a fronthaul drop).
+func (p *Pool) buildDir(cell ran.CellConfig, slot int, release, deadline sim.Time, dir ran.SlotDir, bytes int, r *rng.Rand) *ran.DAG {
 	if bytes <= 0 {
 		return nil
 	}
-	allocs := ran.AllocateSlot(cell, bytes, r)
+	allocs := p.slotAlloc.Allocate(cell, bytes, r)
 	if len(allocs) == 0 {
 		return nil
 	}
 	if dir == ran.Uplink {
-		return ran.BuildUplinkDAG(cell, slot, release, deadline, allocs)
+		return ran.BuildUplinkDAGInto(p.getDAG(), cell, slot, release, deadline, allocs)
 	}
-	return ran.BuildDownlinkDAG(cell, slot, release, deadline, allocs)
+	return ran.BuildDownlinkDAGInto(p.getDAG(), cell, slot, release, deadline, allocs)
 }
 
 // releaseDAG admits a DAG: predicts every task's WCET, computes tail
@@ -519,17 +678,18 @@ func (p *Pool) releaseDAG(d *ran.DAG) {
 	if d == nil {
 		return
 	}
-	run := &dagRun{dag: d, tasks: make([]*task, len(d.Tasks)), unfinished: len(d.Tasks), seq: p.dagSeq}
+	run := p.acquireRun(d)
+	run.seq = p.dagSeq
 	p.dagSeq++
 	for _, n := range d.Tasks {
 		pred := p.predictTask(n)
-		run.tasks[n.ID] = &task{dag: run, node: n, predicted: pred, missing: len(n.Deps), heapIndex: -1}
+		run.tasks[n.ID] = task{dag: run, node: n, predicted: pred, missing: len(n.Deps), heapIndex: -1}
 		run.remainingWork += pred
 	}
 	// Tail critical path: longest predicted path from each task to a sink,
 	// computed in reverse topological (reverse ID) order.
 	for i := len(run.tasks) - 1; i >= 0; i-- {
-		t := run.tasks[i]
+		t := &run.tasks[i]
 		var best sim.Time
 		for _, s := range t.node.Succs {
 			if run.tasks[s].tailCP > best {
@@ -550,7 +710,7 @@ func (p *Pool) releaseDAG(d *ran.DAG) {
 		})
 	}
 	for _, id := range d.Roots() {
-		p.enqueue(run.tasks[id], now)
+		p.enqueue(&run.tasks[id], now)
 	}
 }
 
@@ -603,7 +763,7 @@ func (p *Pool) readyTotal() int {
 // handoffs).
 func (p *Pool) pushReady(t *task, now sim.Time) {
 	t.readyAt = now
-	heap.Push(&p.queues[p.queueIndex(t.node.CellID)], t)
+	p.queues[p.queueIndex(t.node.CellID)].push(t)
 	if p.tel != nil {
 		p.tel.trc.Emit(telemetry.Event{
 			At: now, Kind: telemetry.EvTaskEnqueue,
@@ -629,7 +789,7 @@ func (p *Pool) dispatch(now sim.Time) {
 			if ci < 0 {
 				break
 			}
-			t := heap.Pop(&p.queues[qi]).(*task)
+			t := p.queues[qi].pop()
 			p.startTask(ci, t, now)
 		}
 	}
@@ -660,6 +820,7 @@ func (p *Pool) startTask(ci int, t *task, now sim.Time) {
 	c := &p.cores[ci]
 	c.state = coreBusyRAN
 	c.task = t
+	t.dag.refs++ // the core now references the run's slab
 	t.running = true
 	t.started = now
 	if p.tel != nil {
@@ -675,13 +836,13 @@ func (p *Pool) startTask(ci int, t *task, now sim.Time) {
 	if p.cfg.Accel != nil && !t.noOffload && p.cfg.Accel.Offloads(t.node.Kind) {
 		dur := p.cfg.Accel.SubmitCost
 		c.busyEnd = now + dur
-		c.doneEv = p.eng.After(dur, func() { p.onOffloadSubmitted(ci) })
+		c.doneEv = p.eng.AfterKind(dur, p.kOffloadSubmitted, int64(ci), 0)
 		p.report.TasksExecuted++
 		return
 	}
 	dur := p.taskDuration(t, now)
 	c.busyEnd = now + dur
-	c.doneEv = p.eng.After(dur, func() { p.onTaskDone(ci) })
+	c.doneEv = p.eng.AfterKind(dur, p.kTaskDone, int64(ci), 0)
 	p.report.TasksExecuted++
 }
 
@@ -708,7 +869,7 @@ func (p *Pool) execOnCore(ci int, t *task, now sim.Time) {
 	dur := p.taskDuration(t, now)
 	c.task = t
 	c.busyEnd = now + dur
-	c.doneEv = p.eng.After(dur, func() { p.onTaskDone(ci) })
+	c.doneEv = p.eng.AfterKind(dur, p.kTaskDone, int64(ci), 0)
 }
 
 // onOffloadSubmitted hands the core's current task to the accelerator and
@@ -719,12 +880,13 @@ func (p *Pool) onOffloadSubmitted(ci int) {
 	c := &p.cores[ci]
 	t := c.task
 	c.task = nil
-	c.doneEv = nil
+	c.doneEv = sim.EventHandle{}
 	run := t.dag
 	run.cpuTime += p.cfg.Accel.SubmitCost
 	if p.flt != nil && p.flt.LaneFails(run.seq, int64(t.node.ID), t.retries) {
 		// Injected lane failure: the device rejects the transfer outright.
 		// Recover immediately by executing in software on this core.
+		// (The core keeps its ref: execOnCore re-attaches the task.)
 		p.report.Faults.CPUFallbacks++
 		p.taskFault(now, faults.LaneFailure, t, 0)
 		p.taskRecover(now, faults.LaneFailure, recoverCPUFallback, t)
@@ -734,10 +896,11 @@ func (p *Pool) onOffloadSubmitted(ci int) {
 	if p.flt != nil && p.flt.OffloadStuck(run.seq, int64(t.node.ID), t.retries) {
 		// Injected stuck offload: the request vanishes inside the device and
 		// no completion will ever fire. A virtual-time watchdog detects the
-		// loss; the core moves on in the meantime.
+		// loss; the core moves on in the meantime. The core's run ref moves to
+		// the watchdog event (net zero).
 		timeout := p.flt.StuckTimeout()
 		p.taskFault(now, faults.StuckOffload, t, timeout)
-		p.eng.After(timeout, func() { p.onOffloadTimeout(t) })
+		p.eng.AfterKind(timeout, p.kOffloadTimeout, int64(run.id), int64(t.node.ID))
 		p.coreAfterTask(ci, nil, now)
 		return
 	}
@@ -745,7 +908,7 @@ func (p *Pool) onOffloadSubmitted(ci int) {
 	done, err := p.cfg.Accel.Submit(now, t.node.Kind, cbs)
 	if err != nil {
 		// Not offloadable after all (wrong kind, no lanes, invalid rate):
-		// execute on this core instead.
+		// execute on this core instead (the core keeps its ref).
 		if p.flt != nil {
 			p.report.Faults.CPUFallbacks++
 			p.taskRecover(now, faults.LaneFailure, recoverCPUFallback, t)
@@ -754,7 +917,8 @@ func (p *Pool) onOffloadSubmitted(ci int) {
 		return
 	}
 	run.offloadTime += done - now
-	p.eng.At(done, func() { p.onOffloadDone(t) })
+	// The core's run ref moves to the completion event (net zero).
+	p.eng.AtKind(done, p.kOffloadDone, int64(run.id), int64(t.node.ID))
 	p.coreAfterTask(ci, nil, now)
 }
 
@@ -764,11 +928,13 @@ func (p *Pool) onOffloadSubmitted(ci int) {
 // the CPU path, and if its DAG is already past deadline by then the DAG is
 // abandoned and counted rather than left to wedge the pool.
 func (p *Pool) onOffloadTimeout(t *task) {
-	if t.done || t.dag.dropped {
+	run := t.dag
+	run.refs-- // the watchdog event just fired
+	if t.done || run.dropped {
+		p.maybeRecycle(run)
 		return
 	}
 	now := p.eng.Now()
-	run := t.dag
 	p.report.Faults.OffloadTimeouts++
 	t.running = false
 	t.retries++
@@ -785,8 +951,13 @@ func (p *Pool) onOffloadTimeout(t *task) {
 		p.report.Faults.OffloadRetries++
 		p.taskRecover(now, faults.StuckOffload, recoverOffloadRetry, t)
 	}
+	// The backoff event holds a ref: fault paths are rare, so a closure here
+	// is fine — but it must keep the run alive until it fires.
+	run.refs++
 	p.eng.After(p.flt.Backoff(t.retries), func() {
-		if t.done || t.dag.dropped {
+		run.refs--
+		if t.done || run.dropped {
+			p.maybeRecycle(run)
 			return
 		}
 		p.pushReady(t, p.eng.Now())
@@ -800,12 +971,13 @@ func (p *Pool) onOffloadTimeout(t *task) {
 // wedge the pool. Mirrors dropExpired for a single DAG.
 func (p *Pool) abandonDAG(run *dagRun, now sim.Time) {
 	run.dropped = true
-	for _, t := range run.tasks {
+	for i := range run.tasks {
+		t := &run.tasks[i]
 		if t.done || t.running {
 			continue
 		}
 		if t.heapIndex >= 0 {
-			heap.Remove(&p.queues[p.queueIndex(t.node.CellID)], t.heapIndex)
+			p.queues[p.queueIndex(t.node.CellID)].removeAt(t.heapIndex)
 		}
 		t.done = true
 	}
@@ -833,6 +1005,8 @@ func (p *Pool) abandonDAG(run *dagRun, now sim.Time) {
 			Dur: now - run.dag.Release, A: run.seq, B: int64(run.dag.Dir),
 		})
 	}
+	run.retired = true
+	p.maybeRecycle(run)
 }
 
 // onOffloadDone completes an accelerator task: DAG bookkeeping and
@@ -842,6 +1016,7 @@ func (p *Pool) onOffloadDone(t *task) {
 	t.running = false
 	t.done = true
 	run := t.dag
+	run.refs-- // the completion event just fired
 	run.unfinished--
 	run.remainingWork -= t.predicted
 	if run.remainingWork < 0 {
@@ -859,10 +1034,11 @@ func (p *Pool) onOffloadDone(t *task) {
 		p.tel.predictSample(now, t, now-t.started)
 	}
 	if run.dropped {
+		p.maybeRecycle(run)
 		return
 	}
 	for _, sID := range t.node.Succs {
-		st := run.tasks[sID]
+		st := &run.tasks[sID]
 		st.missing--
 		if st.missing == 0 {
 			p.pushReady(st, now)
@@ -883,10 +1059,11 @@ func (p *Pool) onTaskDone(ci int) {
 	c := &p.cores[ci]
 	t := c.task
 	c.task = nil
-	c.doneEv = nil
+	c.doneEv = sim.EventHandle{}
 	t.running = false
 	t.done = true
 	run := t.dag
+	run.refs-- // the core detaches
 	run.unfinished--
 	run.remainingWork -= t.predicted
 	if run.remainingWork < 0 {
@@ -913,11 +1090,12 @@ func (p *Pool) onTaskDone(ci int) {
 	// Spawn successors (none for a dropped DAG: its data is gone).
 	var keep *task
 	if run.dropped {
+		p.maybeRecycle(run)
 		p.coreAfterTask(ci, nil, now)
 		return
 	}
 	for _, s := range t.node.Succs {
-		st := run.tasks[s]
+		st := &run.tasks[s]
 		st.missing--
 		if st.missing == 0 {
 			if keep == nil {
@@ -960,7 +1138,7 @@ func (p *Pool) coreAfterTask(ci int, keep *task, now sim.Time) {
 	case p.queues[qi].Len() > 0:
 		// An owned core always drains pending work before yielding — idling
 		// a held core while its queue is non-empty only adds latency.
-		next := heap.Pop(&p.queues[qi]).(*task)
+		next := p.queues[qi].pop()
 		p.startTask(ci, next, now)
 	case p.ranCores > target:
 		if p.cfg.ReleaseHysteresis > 0 {
@@ -1034,6 +1212,8 @@ func (p *Pool) finishDAG(run *dagRun, now sim.Time) {
 			})
 		}
 	}
+	run.retired = true
+	p.maybeRecycle(run)
 }
 
 // schedulerState snapshots the pool for the scheduling policy.
@@ -1060,10 +1240,14 @@ func (p *Pool) schedulerState(now sim.Time) scheduler.PoolState {
 		}
 		st.OldestReadyAge = now - oldest
 	}
+	// st.DAGs reuses the pool's scratch slice; policies must not retain it
+	// past the Cores call (none do — see scheduler package contract).
+	st.DAGs = p.stDAGs[:0]
 	for _, run := range p.dags {
 		work := run.remainingWork
 		var cp sim.Time
-		for _, t := range run.tasks {
+		for i := range run.tasks {
+			t := &run.tasks[i]
 			if t.done {
 				continue
 			}
@@ -1091,6 +1275,7 @@ func (p *Pool) schedulerState(now sim.Time) scheduler.PoolState {
 			RemainingCriticalPath: cp,
 		})
 	}
+	p.stDAGs = st.DAGs
 	return st
 }
 
@@ -1122,12 +1307,13 @@ func (p *Pool) dropExpired(now sim.Time) {
 			continue
 		}
 		run.dropped = true
-		for _, t := range run.tasks {
+		for i := range run.tasks {
+			t := &run.tasks[i]
 			if t.done || t.running {
 				continue
 			}
 			if t.heapIndex >= 0 {
-				heap.Remove(&p.queues[p.queueIndex(t.node.CellID)], t.heapIndex)
+				p.queues[p.queueIndex(t.node.CellID)].removeAt(t.heapIndex)
 			}
 			t.done = true
 		}
@@ -1148,6 +1334,10 @@ func (p *Pool) dropExpired(now sim.Time) {
 				Dur: now - run.dag.Release, A: run.seq, B: int64(run.dag.Dir),
 			})
 		}
+		// Running tasks (and pending offload events) hold refs; the run is
+		// recycled when the last of them resolves.
+		run.retired = true
+		p.maybeRecycle(run)
 	}
 	p.dags = kept
 }
@@ -1289,7 +1479,7 @@ func (p *Pool) acquireCore(ci int, now sim.Time) {
 			A: int64(p.ranCores), B: int64(active),
 		})
 	}
-	c.wakeEv = p.eng.After(lat, func() { p.onCoreAwake(ci) })
+	c.wakeEv = p.eng.AfterKind(lat, p.kCoreAwake, int64(ci), 0)
 }
 
 // interferenceBase is the workload pressure unscaled by core share (kernel
@@ -1310,7 +1500,7 @@ func (p *Pool) onCoreAwake(ci int) {
 	if c.state != coreWaking {
 		return
 	}
-	c.wakeEv = nil
+	c.wakeEv = sim.EventHandle{}
 	c.state = coreIdleRAN
 	c.idleSince = p.eng.Now()
 	if p.tel != nil {
@@ -1328,9 +1518,9 @@ func (p *Pool) onCoreAwake(ci int) {
 func (p *Pool) yieldCore(ci int, now sim.Time) {
 	p.accountCoreTime(now)
 	c := &p.cores[ci]
-	if c.state == coreWaking && c.wakeEv != nil {
-		c.wakeEv.Cancel()
-		c.wakeEv = nil
+	if c.state == coreWaking && c.wakeEv.Valid() {
+		p.eng.Cancel(c.wakeEv)
+		c.wakeEv = sim.EventHandle{}
 	}
 	c.state = coreBestEffort
 	p.ranCores--

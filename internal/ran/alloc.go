@@ -4,6 +4,24 @@ import (
 	"concordia/internal/rng"
 )
 
+// SlotAllocator owns the scratch buffers AllocateSlot would otherwise
+// allocate per call. One allocator per traffic direction per pool; the
+// returned slice is valid until the next Allocate on the same allocator.
+type SlotAllocator struct {
+	weights []float64
+	out     []UEAlloc
+}
+
+// Allocate is AllocateSlot with reusable buffers. Draw order on r is
+// identical to AllocateSlot, so substituting one for the other cannot
+// perturb a seeded run.
+func (s *SlotAllocator) Allocate(cfg CellConfig, payloadBytes int, r *rng.Rand) []UEAlloc {
+	if payloadBytes <= 0 {
+		return nil
+	}
+	return allocateSlot(s, cfg, payloadBytes, r)
+}
+
 // AllocateSlot converts a slot's MAC payload demand (bytes) into per-UE
 // allocations: it draws active UEs, assigns them wideband SNRs (which fix
 // their MCS through link adaptation), splits the payload, and sizes PRBs and
@@ -13,6 +31,10 @@ func AllocateSlot(cfg CellConfig, payloadBytes int, r *rng.Rand) []UEAlloc {
 	if payloadBytes <= 0 {
 		return nil
 	}
+	return allocateSlot(new(SlotAllocator), cfg, payloadBytes, r)
+}
+
+func allocateSlot(s *SlotAllocator, cfg CellConfig, payloadBytes int, r *rng.Rand) []UEAlloc {
 	// Active UE count grows sub-linearly with the payload: small slots are
 	// usually one UE, peak slots spread across several.
 	maxUEs := cfg.MaxUEs
@@ -21,14 +43,20 @@ func AllocateSlot(cfg CellConfig, payloadBytes int, r *rng.Rand) []UEAlloc {
 		n = maxUEs
 	}
 	// Random payload split across UEs.
-	weights := make([]float64, n)
+	if cap(s.weights) < n {
+		s.weights = make([]float64, n)
+	}
+	weights := s.weights[:n]
 	var wsum float64
 	for i := range weights {
 		weights[i] = 0.2 + r.Float64()
 		wsum += weights[i]
 	}
 	prbBudget := cfg.PRBs()
-	out := make([]UEAlloc, 0, n)
+	if cap(s.out) < n {
+		s.out = make([]UEAlloc, 0, n)
+	}
+	out := s.out[:0]
 	for i := 0; i < n && prbBudget > 0; i++ {
 		ueBytes := int(float64(payloadBytes) * weights[i] / wsum)
 		if ueBytes <= 0 {
@@ -61,5 +89,6 @@ func AllocateSlot(cfg CellConfig, payloadBytes int, r *rng.Rand) []UEAlloc {
 			Codeblocks: CodeblockCount(tbs),
 		})
 	}
+	s.out = out
 	return out
 }

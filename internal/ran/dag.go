@@ -71,6 +71,14 @@ type Task struct {
 
 // DAG is the dependency graph of all signal-processing work for one cell
 // and one slot direction, with its release time and absolute deadline.
+//
+// Memory discipline (DESIGN.md §5f): a DAG's Task nodes live in one backing
+// slab owned by the DAG, sized exactly before construction so the slab never
+// reallocates mid-build (Tasks pointers and Deps backing arrays would alias
+// a dead array otherwise). The *Into builder variants reuse a previous
+// slot's slab, Deps/Succs capacity, and scratch, so steady-state DAG
+// construction allocates nothing. Task pointers are only valid until the
+// owning DAG is rebuilt; the pool's freelists enforce that lifetime.
 type DAG struct {
 	CellID   int
 	Slot     int
@@ -78,26 +86,61 @@ type DAG struct {
 	Release  sim.Time
 	Deadline sim.Time
 	Tasks    []*Task
+
+	slab  []Task // backing store for Tasks
+	roots []int  // cached by finalize
+	// Builder scratch, reused across rebuilds of this DAG value.
+	scratchA []int // uplink: FFT IDs; downlink: modulation IDs
+	scratchB []int // uplink: per-UE decode IDs; downlink: encode / precode deps
 }
 
-// addTask appends a task and returns its ID.
+// prepare resets the DAG for a rebuild of exactly n tasks. Sizing the slab
+// up front is what makes interior pointers safe: addTask never appends past
+// the prepared length, so the backing array cannot move mid-build.
+func (d *DAG) prepare(cellID, slot int, dir SlotDir, release, deadline sim.Time, n int) {
+	d.CellID = cellID
+	d.Slot = slot
+	d.Dir = dir
+	d.Release = release
+	d.Deadline = deadline
+	if cap(d.slab) < n {
+		d.slab = make([]Task, n)
+	}
+	d.slab = d.slab[:n]
+	if cap(d.Tasks) < n {
+		d.Tasks = make([]*Task, 0, n)
+	}
+	d.Tasks = d.Tasks[:0]
+	d.roots = d.roots[:0]
+}
+
+// addTask claims the next slab entry and returns its ID. Deps/Succs reuse
+// the entry's previous capacity.
 func (d *DAG) addTask(kind TaskKind, ue int, f FeatureVector, deps ...int) int {
 	id := len(d.Tasks)
-	d.Tasks = append(d.Tasks, &Task{
-		ID:       id,
-		Kind:     kind,
-		CellID:   d.CellID,
-		UE:       ue,
-		Features: f,
-		Deps:     append([]int(nil), deps...),
-	})
+	if id >= len(d.slab) {
+		panic(fmt.Sprintf("ran: DAG slab overflow at task %d (prepared %d)", id, len(d.slab)))
+	}
+	t := &d.slab[id]
+	t.ID = id
+	t.Kind = kind
+	t.CellID = d.CellID
+	t.UE = ue
+	t.Features = f
+	t.Deps = append(t.Deps[:0], deps...)
+	t.Succs = t.Succs[:0]
+	d.Tasks = append(d.Tasks, t)
 	return id
 }
 
-// finalize fills successor lists and validates acyclicity (dependencies may
-// only point backwards, which the builders guarantee by construction).
+// finalize fills successor lists, caches roots, and validates acyclicity
+// (dependencies may only point backwards, which the builders guarantee by
+// construction).
 func (d *DAG) finalize() {
 	for _, t := range d.Tasks {
+		if len(t.Deps) == 0 {
+			d.roots = append(d.roots, t.ID)
+		}
 		for _, dep := range t.Deps {
 			if dep >= t.ID {
 				panic(fmt.Sprintf("ran: forward dependency %d -> %d", t.ID, dep))
@@ -107,15 +150,18 @@ func (d *DAG) finalize() {
 	}
 }
 
-// Roots returns the IDs of tasks with no prerequisites.
+// Roots returns the IDs of tasks with no prerequisites. The slice is owned
+// by the DAG and valid until the next rebuild; callers must not mutate it.
 func (d *DAG) Roots() []int {
-	var out []int
-	for _, t := range d.Tasks {
-		if len(t.Deps) == 0 {
-			out = append(out, t.ID)
+	if d.roots == nil && len(d.Tasks) > 0 {
+		// DAG assembled outside the builders (tests): compute on demand.
+		for _, t := range d.Tasks {
+			if len(t.Deps) == 0 {
+				d.roots = append(d.roots, t.ID)
+			}
 		}
 	}
-	return out
+	return d.roots
 }
 
 // Validate checks structural invariants: dependencies in range, acyclic by
@@ -180,20 +226,51 @@ func ueFeatures(base FeatureVector, a UEAlloc, cbs int) FeatureVector {
 	return f
 }
 
+// decodeGroups returns the number of parallel decode/encode tasks covering
+// cb codeblocks.
+func decodeGroups(cb int) int { return (cb + decodeGroupSize - 1) / decodeGroupSize }
+
+// uplinkTaskCount sizes the uplink slab: per-antenna FFTs, the polar control
+// branch, and per UE the CE→EQ→DM→RD chain, decode groups, and the CRC join.
+func uplinkTaskCount(cfg CellConfig, allocs []UEAlloc) int {
+	n := cfg.Antennas + 1
+	for _, a := range allocs {
+		n += 5 + decodeGroups(a.Codeblocks)
+	}
+	return n
+}
+
+// downlinkTaskCount sizes the downlink slab: polar control, per-UE encode
+// groups plus rate-match and modulation, precoding, and per-antenna IFFTs.
+func downlinkTaskCount(cfg CellConfig, allocs []UEAlloc) int {
+	n := 2 + cfg.Antennas
+	for _, a := range allocs {
+		n += 2 + decodeGroups(a.Codeblocks)
+	}
+	return n
+}
+
 // BuildUplinkDAG constructs the Fig 1 uplink graph for one slot: per-antenna
 // FFTs feed per-UE channel estimation → equalization → demodulation → rate
 // dematching → parallel LDPC decode groups → a CRC join; uplink control
 // (polar) decodes in parallel.
 func BuildUplinkDAG(cfg CellConfig, slot int, release, deadline sim.Time, allocs []UEAlloc) *DAG {
-	d := &DAG{CellID: cfg.ID, Slot: slot, Dir: Uplink, Release: release, Deadline: deadline}
+	return BuildUplinkDAGInto(new(DAG), cfg, slot, release, deadline, allocs)
+}
+
+// BuildUplinkDAGInto rebuilds d in place as the uplink graph, reusing its
+// slab and scratch. It returns d.
+func BuildUplinkDAGInto(d *DAG, cfg CellConfig, slot int, release, deadline sim.Time, allocs []UEAlloc) *DAG {
+	d.prepare(cfg.ID, slot, Uplink, release, deadline, uplinkTaskCount(cfg, allocs))
 	base := baseFeatures(cfg, allocs)
 
-	ffts := make([]int, cfg.Antennas)
+	ffts := d.scratchA[:0]
 	for a := 0; a < cfg.Antennas; a++ {
 		f := base
 		f.Set(FPRBs, float64(cfg.PRBs()))
-		ffts[a] = d.addTask(TaskFFT, -1, f)
+		ffts = append(ffts, d.addTask(TaskFFT, -1, f))
 	}
+	d.scratchA = ffts
 	// Uplink control decoding does not depend on data-path FFT output in
 	// this simplified DAG; it is the parallel branch of Fig 1.
 	ctl := base
@@ -213,7 +290,7 @@ func BuildUplinkDAG(cfg CellConfig, slot int, release, deadline sim.Time, allocs
 		if cfg.Generation == LTE {
 			decodeKind = TaskTurboDecode
 		}
-		var decodes []int
+		decodes := d.scratchB[:0]
 		for cb := 0; cb < a.Codeblocks; cb += decodeGroupSize {
 			n := decodeGroupSize
 			if cb+n > a.Codeblocks {
@@ -223,8 +300,9 @@ func BuildUplinkDAG(cfg CellConfig, slot int, release, deadline sim.Time, allocs
 			decodes = append(decodes, d.addTask(decodeKind, a.UE, g, rd))
 		}
 		if len(decodes) == 0 {
-			decodes = []int{rd}
+			decodes = append(decodes, rd)
 		}
+		d.scratchB = decodes
 		d.addTask(TaskCRCCheck, a.UE, f, decodes...)
 	}
 	d.finalize()
@@ -236,7 +314,13 @@ func BuildUplinkDAG(cfg CellConfig, slot int, release, deadline sim.Time, allocs
 // that feeds per-antenna IFFTs; downlink control (polar) encodes in
 // parallel and also precedes precoding.
 func BuildDownlinkDAG(cfg CellConfig, slot int, release, deadline sim.Time, allocs []UEAlloc) *DAG {
-	d := &DAG{CellID: cfg.ID, Slot: slot, Dir: Downlink, Release: release, Deadline: deadline}
+	return BuildDownlinkDAGInto(new(DAG), cfg, slot, release, deadline, allocs)
+}
+
+// BuildDownlinkDAGInto rebuilds d in place as the downlink graph, reusing
+// its slab and scratch. It returns d.
+func BuildDownlinkDAGInto(d *DAG, cfg CellConfig, slot int, release, deadline sim.Time, allocs []UEAlloc) *DAG {
+	d.prepare(cfg.ID, slot, Downlink, release, deadline, downlinkTaskCount(cfg, allocs))
 	base := baseFeatures(cfg, allocs)
 
 	ctl := d.addTask(TaskPolarEncode, -1, base)
@@ -244,10 +328,10 @@ func BuildDownlinkDAG(cfg CellConfig, slot int, release, deadline sim.Time, allo
 	if cfg.Generation == LTE {
 		encodeKind = TaskTurboEncode
 	}
-	var modTasks []int
+	modTasks := d.scratchA[:0]
 	for _, a := range allocs {
 		f := ueFeatures(base, a, a.Codeblocks)
-		var encodes []int
+		encodes := d.scratchB[:0]
 		for cb := 0; cb < a.Codeblocks; cb += decodeGroupSize {
 			n := decodeGroupSize
 			if cb+n > a.Codeblocks {
@@ -256,10 +340,12 @@ func BuildDownlinkDAG(cfg CellConfig, slot int, release, deadline sim.Time, allo
 			g := ueFeatures(base, a, n)
 			encodes = append(encodes, d.addTask(encodeKind, a.UE, g))
 		}
+		d.scratchB = encodes
 		rm := d.addTask(TaskRateMatch, a.UE, f, encodes...)
 		modTasks = append(modTasks, d.addTask(TaskModulation, a.UE, f, rm))
 	}
-	precodeDeps := append(append([]int(nil), modTasks...), ctl)
+	precodeDeps := append(modTasks, ctl)
+	d.scratchA = precodeDeps
 	pcF := base
 	pcF.Set(FPRBs, float64(cfg.PRBs()))
 	pc := d.addTask(TaskPrecoding, -1, pcF, precodeDeps...)
@@ -275,7 +361,13 @@ func BuildDownlinkDAG(cfg CellConfig, slot int, release, deadline sim.Time, allo
 // step assembles their grants. MAC deadlines are one slot (the grant must be
 // ready for the next TTI), far tighter than the PHY DAG deadline.
 func BuildMACDAG(cfg CellConfig, slot int, release, deadline sim.Time, ues int) *DAG {
-	d := &DAG{CellID: cfg.ID, Slot: slot, Dir: Downlink, Release: release, Deadline: deadline}
+	return BuildMACDAGInto(new(DAG), cfg, slot, release, deadline, ues)
+}
+
+// BuildMACDAGInto rebuilds d in place as the MAC-extension graph. It
+// returns d.
+func BuildMACDAGInto(d *DAG, cfg CellConfig, slot int, release, deadline sim.Time, ues int) *DAG {
+	d.prepare(cfg.ID, slot, Downlink, release, deadline, 3)
 	var f FeatureVector
 	f.Set(FNumUEs, float64(ues))
 	f.Set(FAntennas, float64(cfg.Antennas))

@@ -74,22 +74,158 @@ func TestCancel(t *testing.T) {
 	e := NewEngine()
 	fired := false
 	ev := e.At(10, func() { fired = true })
-	ev.Cancel()
+	if !e.Scheduled(ev) {
+		t.Fatal("Scheduled() false for pending event")
+	}
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if !e.Canceled(ev) {
+		t.Fatal("Canceled() false after Cancel")
+	}
+	if e.Scheduled(ev) {
+		t.Fatal("Scheduled() true after Cancel")
+	}
 	e.RunAll()
 	if fired {
 		t.Fatal("canceled event fired")
-	}
-	if !ev.Canceled() {
-		t.Fatal("Canceled() false after Cancel")
 	}
 }
 
 func TestCancelIdempotent(t *testing.T) {
 	e := NewEngine()
 	ev := e.At(10, func() {})
-	ev.Cancel()
-	ev.Cancel() // must not panic
+	if !e.Cancel(ev) {
+		t.Fatal("first Cancel returned false")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("second Cancel returned true")
+	}
 	e.RunAll()
+}
+
+func TestCancelZeroHandleNoop(t *testing.T) {
+	e := NewEngine()
+	var h EventHandle
+	if h.Valid() {
+		t.Fatal("zero handle reports Valid")
+	}
+	if e.Cancel(h) || e.Canceled(h) || e.Scheduled(h) {
+		t.Fatal("zero handle not inert")
+	}
+}
+
+// A handle must not be able to cancel a later event that recycled its slot.
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	e := NewEngine()
+	h1 := e.At(10, func() {})
+	e.RunAll() // fires, frees the slot
+	fired := false
+	h2 := e.At(20, func() { fired = true }) // recycles the slot
+	if e.Cancel(h1) {
+		t.Fatal("stale handle canceled a recycled slot")
+	}
+	if !e.Scheduled(h2) {
+		t.Fatal("new event lost")
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatal("recycled-slot event did not fire")
+	}
+}
+
+// Satellite: a cancel-heavy workload must not accumulate canceled entries —
+// the engine compacts once they exceed half the queue, so the queue stays
+// bounded by a small multiple of the live event count.
+func TestCancelHeavyQueueBounded(t *testing.T) {
+	e := NewEngine()
+	const live = 100
+	handles := make([]EventHandle, 0, live)
+	maxPending := 0
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < live; i++ {
+			handles = append(handles, e.At(Time(1_000_000+round), func() {}))
+		}
+		for _, h := range handles {
+			e.Cancel(h)
+		}
+		handles = handles[:0]
+		if p := e.Pending(); p > maxPending {
+			maxPending = p
+		}
+	}
+	// 100k events scheduled and canceled, never fired. Without compaction
+	// Pending would reach 100k; with it the queue stays O(live).
+	if maxPending > 4*live {
+		t.Fatalf("canceled events accumulated: max pending %d for %d live", maxPending, live)
+	}
+	if e.Pending() > 2*live {
+		t.Fatalf("final pending %d not compacted", e.Pending())
+	}
+}
+
+// Compaction must preserve ordering and FIFO among survivors.
+func TestCompactionPreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var keep []EventHandle
+	var cancel []EventHandle
+	var got []int
+	for i := 0; i < 500; i++ {
+		i := i
+		h := e.At(Time(100+i/2), func() { got = append(got, i) })
+		if i%2 == 0 {
+			cancel = append(cancel, h)
+		} else {
+			keep = append(keep, h)
+		}
+	}
+	for _, h := range cancel {
+		e.Cancel(h) // triggers compaction partway through
+	}
+	e.RunAll()
+	if len(got) != len(keep) {
+		t.Fatalf("fired %d events, want %d", len(got), len(keep))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("survivors out of order after compaction: %v", got)
+		}
+	}
+}
+
+func TestTypedEvents(t *testing.T) {
+	e := NewEngine()
+	var got [][2]int64
+	k := e.RegisterKind(func(a, b int64) { got = append(got, [2]int64{a, b}) })
+	e.AtKind(10, k, 1, 2)
+	e.AfterKind(5, k, 3, 4)
+	e.RunAll()
+	want := [][2]int64{{3, 4}, {1, 2}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("typed events got %v want %v", got, want)
+	}
+}
+
+func TestTypedAndClosureEventsInterleaveFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int64
+	k := e.RegisterKind(func(a, b int64) { got = append(got, a) })
+	e.AtKind(10, k, 0, 0)
+	e.At(10, func() { got = append(got, 1) })
+	e.AtKind(10, k, 2, 0)
+	e.RunAll()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("interleave order %v", got)
+	}
+}
+
+func TestAtKindUnregisteredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AtKind with unregistered kind did not panic")
+		}
+	}()
+	NewEngine().AtKind(10, 7, 0, 0)
 }
 
 func TestRunHorizon(t *testing.T) {
@@ -217,6 +353,100 @@ func TestPropertyOrdering(t *testing.T) {
 	}
 }
 
+// Property: random interleavings of schedule/cancel fire exactly the
+// surviving events, in (at, seq) order, under the 4-ary heap + compaction.
+func TestPropertyCancelInterleaving(t *testing.T) {
+	err := quick.Check(func(raw []uint32) bool {
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			ord int
+		}
+		var got []rec
+		var want []rec
+		var handles []EventHandle
+		var wantIdx []int
+		for i, r := range raw {
+			at := Time(r % 1000)
+			i := i
+			handles = append(handles, e.At(at, func() {
+				got = append(got, rec{e.Now(), i})
+			}))
+			wantIdx = append(wantIdx, i)
+			want = append(want, rec{at, i})
+			// Cancel an arbitrary earlier survivor based on the input bits.
+			if r%3 == 0 && len(wantIdx) > 0 {
+				victim := int(r/3) % len(wantIdx)
+				e.Cancel(handles[wantIdx[victim]])
+				want = append(want[:victim], want[victim+1:]...)
+				wantIdx = append(wantIdx[:victim], wantIdx[victim+1:]...)
+			}
+		}
+		e.RunAll()
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Tentpole gate: typed scheduling and dispatch allocate nothing once the
+// queue and handle table have warmed up.
+func TestTypedScheduleFireZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	k := e.RegisterKind(func(a, b int64) {})
+	// Warm capacity.
+	for i := 0; i < 64; i++ {
+		e.AfterKind(Time(i), k, 0, 0)
+	}
+	e.RunAll()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.AfterKind(10, k, 1, 2)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("typed schedule+fire allocates %v/run, want 0", allocs)
+	}
+}
+
+func TestScheduleCancelZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	k := e.RegisterKind(func(a, b int64) {})
+	for i := 0; i < 64; i++ {
+		e.Cancel(e.AfterKind(Time(i), k, 0, 0))
+	}
+	e.RunAll()
+	allocs := testing.AllocsPerRun(1000, func() {
+		h := e.AfterKind(10, k, 0, 0)
+		e.Cancel(h)
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+cancel allocates %v/run, want 0", allocs)
+	}
+}
+
+// A ticker's steady-state re-arm goes through the typed path: no allocs.
+func TestTickerSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	NewTicker(e, 0, 10, func(Time) {})
+	e.Run(1000) // warm up
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Run(e.Now() + 1000)
+	})
+	if allocs != 0 {
+		t.Fatalf("ticker steady state allocates %v/run, want 0", allocs)
+	}
+}
+
 func TestTimeString(t *testing.T) {
 	cases := map[Time]string{
 		500:             "500ns",
@@ -244,6 +474,19 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 	e := NewEngine()
 	for i := 0; i < b.N; i++ {
 		e.After(Time(i%100), func() {})
+		if e.Pending() > 1024 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}
+
+func BenchmarkTypedScheduleAndFire(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	k := e.RegisterKind(func(a, b int64) {})
+	for i := 0; i < b.N; i++ {
+		e.AfterKind(Time(i%100), k, 0, 0)
 		if e.Pending() > 1024 {
 			e.RunAll()
 		}

@@ -13,6 +13,11 @@ import (
 // link direction. Generator is the synthetic implementation; Replayer
 // re-plays captured traces (the paper's methodology: emulated 5G benchmarks
 // built from recorded LTE fluctuation patterns).
+//
+// Contract: the slice NextSlot returns is only valid until the next
+// NextSlot call on the same source — implementations reuse the buffer so
+// the per-TTI hot path allocates nothing. Callers that retain a row must
+// copy it.
 type Source interface {
 	Cells() int
 	NextSlot() []int
@@ -22,6 +27,7 @@ type Source interface {
 type Replayer struct {
 	trace *Trace
 	pos   int
+	out   []int // NextSlot buffer, reused every TTI (see Source contract)
 	// ScaleVolume multiplies every replayed volume (the paper scales its
 	// LTE traces >10× for the 5G benchmarks); 0 means 1.
 	ScaleVolume float64
@@ -36,7 +42,7 @@ func NewReplayer(tr *Trace, scale float64) (*Replayer, error) {
 	if scale <= 0 {
 		scale = 1
 	}
-	return &Replayer{trace: tr, ScaleVolume: scale}, nil
+	return &Replayer{trace: tr, out: make([]int, tr.Cells), ScaleVolume: scale}, nil
 }
 
 // Cells implements Source.
@@ -46,7 +52,7 @@ func (r *Replayer) Cells() int { return r.trace.Cells }
 func (r *Replayer) NextSlot() []int {
 	row := r.trace.Volumes[r.pos]
 	r.pos = (r.pos + 1) % len(r.trace.Volumes)
-	out := make([]int, len(row))
+	out := r.out[:len(row)]
 	for i, v := range row {
 		out[i] = int(float64(v) * r.ScaleVolume)
 	}

@@ -49,6 +49,8 @@ type Generator struct {
 	cfg   Config
 	slot  int
 	cells []cellState
+	// out is the NextSlot buffer, reused every TTI (see Source contract).
+	out []int
 }
 
 type cellState struct {
@@ -89,7 +91,7 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	if cfg.PeakSlotBytes <= 0 {
 		return nil, errors.New("traffic: peak slot bytes must be positive")
 	}
-	g := &Generator{cfg: cfg}
+	g := &Generator{cfg: cfg, out: make([]int, cfg.Cells)}
 	root := rng.New(cfg.Seed)
 	g.cells = make([]cellState, cfg.Cells)
 	for i := range g.cells {
@@ -101,7 +103,8 @@ func NewGenerator(cfg Config) (*Generator, error) {
 // Cells returns the number of cells.
 func (g *Generator) Cells() int { return g.cfg.Cells }
 
-// NextSlot returns the per-cell payload bytes for the next TTI.
+// NextSlot returns the per-cell payload bytes for the next TTI. The slice
+// is reused on the following call; callers that retain it must copy.
 func (g *Generator) NextSlot() []int {
 	cfg := g.cfg
 	if cfg.DiurnalPeriod > 0 {
@@ -114,7 +117,7 @@ func (g *Generator) NextSlot() []int {
 	}
 	epoch := g.slot / epochTTIs
 	busy := busyCellCount(cfg.Cells, cfg.Load)
-	out := make([]int, len(g.cells))
+	out := g.out
 	for i := range g.cells {
 		// Cell i is a hotspot when it falls inside the rotating busy window.
 		isBusy := (i+epoch)%cfg.Cells < busy
@@ -197,7 +200,8 @@ func GenerateTrace(cfg Config, slots int) (*Trace, error) {
 	}
 	tr := &Trace{Cells: cfg.Cells, Volumes: make([][]int, slots)}
 	for t := 0; t < slots; t++ {
-		tr.Volumes[t] = g.NextSlot()
+		// NextSlot reuses its buffer; a materialized trace needs its own row.
+		tr.Volumes[t] = append([]int(nil), g.NextSlot()...)
 	}
 	return tr, nil
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint tools check bench bench-diff
+.PHONY: build test lint tools check bench bench-diff poolcheck
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,9 @@ build:
 test:
 	$(GO) test -timeout 20m ./...
 
-# lint is the static gate: go vet, then the determinism suite (DESIGN.md §5b
-# — walltime, rngdiscipline, goroutinescope, maporder, floatsum) via the
+# lint is the static gate: go vet, then the determinism + memory-discipline
+# suite (DESIGN.md §5b, §5g — walltime, rngdiscipline, goroutinescope,
+# maporder, floatsum, poolescape, scratchalias, handleliveness) via the
 # cmd/concordialint vettool, then staticcheck and govulncheck when they are
 # installed (run `make tools` once, network required, to install the pinned
 # versions from tools/go.mod). The third-party linters are gated on
@@ -49,8 +50,20 @@ tools:
 check: lint
 	$(GO) test -timeout 20m ./...
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/parallel ./internal/rng ./internal/phy ./internal/costmodel
+	$(GO) test -race ./internal/parallel ./internal/rng ./internal/phy ./internal/costmodel ./internal/pool ./internal/sim
 	$(GO) test -race -run 'TestExperimentsWorkerDeterminism/(fig6|fig7|fig12|fig15b)' -timeout 30m .
+
+# poolcheck is the dynamic memory-discipline gate (DESIGN.md §5g): rebuild
+# the freelist owners with the sanitizer compiled in (generation side tables,
+# poison-on-free, slab canaries), run their full suites, then drive the
+# sanitized pool through a slice of the determinism sweep — the chaos and
+# predcal experiments stress recycling hardest (fault retries, abandoned
+# DAGs, storm yields). Any use-after-recycle panics with the owning release
+# seq instead of corrupting results.
+poolcheck:
+	$(GO) vet -tags poolcheck ./internal/pool ./internal/sim ./internal/ran
+	$(GO) test -tags poolcheck -timeout 20m ./internal/pool ./internal/sim ./internal/ran
+	$(GO) test -tags poolcheck -timeout 30m -run 'TestExperimentsWorkerDeterminism/(fig4a|fig4b|chaos|predcal)' .
 
 # One regeneration pass per paper table/figure, with timing and allocation
 # stats, distilled into BENCH_pool.json (schema in EXPERIMENTS.md) so the

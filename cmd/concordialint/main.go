@@ -1,6 +1,7 @@
-// Command concordialint is the determinism vettool: it runs the five
-// internal/lint analyzers (walltime, rngdiscipline, goroutinescope,
-// maporder, floatsum) over the module and exits non-zero on any finding or
+// Command concordialint is the determinism and memory-discipline vettool: it
+// runs the eight internal/lint analyzers (walltime, rngdiscipline,
+// goroutinescope, maporder, floatsum, poolescape, scratchalias,
+// handleliveness) over the module and exits non-zero on any finding or
 // suppression-comment problem. `make lint` gates merges on it.
 //
 // Usage:
@@ -15,8 +16,8 @@
 //
 // Suppressions (//lint:allow <rule> <reason>) are counted and listed so that
 // every sanctioned escape stays visible in CI logs; -q hides the listing.
-// Malformed suppressions (no reason) and stale ones (matching no finding)
-// are hard errors.
+// Malformed suppressions (no reason), suppressions naming an unknown rule,
+// and stale ones (matching no finding) are hard errors.
 package main
 
 import (

@@ -40,6 +40,44 @@ func TestFloatSum(t *testing.T) {
 	requireSuppressed(t, res.Suppressed, "floatsum")
 }
 
+func TestPoolEscape(t *testing.T) {
+	res := analysistest.Run(t, analysistest.TestData(), lint.PoolEscape, "poolescape")
+	requireSuppressed(t, res.Suppressed, "poolescape")
+}
+
+func TestScratchAlias(t *testing.T) {
+	res := analysistest.Run(t, analysistest.TestData(), lint.ScratchAlias, "scratchalias")
+	requireSuppressed(t, res.Suppressed, "scratchalias")
+}
+
+func TestHandleLiveness(t *testing.T) {
+	res := analysistest.Run(t, analysistest.TestData(), lint.HandleLiveness,
+		"handleliveness", "concordia/internal/sim")
+	requireSuppressed(t, res.Suppressed, "handleliveness")
+}
+
+// TestAnalyzerRoster pins the suite's composition and order: tooling (the
+// -help-rules listing, allow-rule validation, CI log diffs) keys on the
+// names, so an accidental drop or reorder should fail loudly.
+func TestAnalyzerRoster(t *testing.T) {
+	want := []string{
+		"walltime", "rngdiscipline", "goroutinescope", "maporder", "floatsum",
+		"poolescape", "scratchalias", "handleliveness",
+	}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}
+
 // requireSuppressed asserts the fixture's //lint:allow comment was honored,
 // counted, and annotated with its reason.
 func requireSuppressed(t *testing.T, suppressed []lint.Diag, rule string) {

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"concordia/internal/lint/analysis"
+)
+
+// handleAllowedPkgs own handle lifecycles by construction: the simulator
+// itself recycles slots behind the generation check, so its internal
+// bookkeeping (Ticker.ev) is exempt.
+var handleAllowedPkgs = []string{"concordia/internal/sim"}
+
+// HandleLiveness enforces the event-handle lifecycle from DESIGN.md §5f.
+// sim.EventHandle is a generation-tagged (idx, gen) pair into the engine's
+// slot table; the generation check makes a stale Cancel a silent no-op, not
+// a crash, so stale handles hide bugs rather than reveal them. Two rules:
+// a struct field holding an EventHandle that is ever scheduled into must
+// also be cleared (assigned sim.EventHandle{}) somewhere, so retire paths
+// cannot leak a live handle into a recycled object; and a handle reachable
+// from a pooled object must not be Canceled (or queried) after the object's
+// put/recycle call in the same function.
+var HandleLiveness = &analysis.Analyzer{
+	Name: "handleliveness",
+	Doc: "forbid sim.EventHandle fields that are scheduled into but never cleared, and " +
+		"Cancel/Canceled/Scheduled calls on handles of already-recycled pool objects",
+	Run: runHandleLiveness,
+}
+
+func runHandleLiveness(pass *analysis.Pass) (any, error) {
+	if pkgAllowed(pass, handleAllowedPkgs...) {
+		return nil, nil
+	}
+	checkHandleFieldsCleared(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkHandleUseAfterPut(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+// isEventHandleType matches the named type EventHandle from any package
+// whose import path ends in internal/sim (the real engine, or the fixture
+// stand-in under testdata).
+func isEventHandleType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "EventHandle" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/sim")
+}
+
+// isEngineMethod reports whether call is a handle-lifecycle method
+// (Cancel/Canceled/Scheduled) on a sim.Engine value.
+func isEngineMethod(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Cancel", "Canceled", "Scheduled":
+	default:
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Engine" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/sim")
+}
+
+// checkHandleFieldsCleared applies rule 1 package-wide: every EventHandle
+// struct field that some production code schedules into (x.field = e.After(...))
+// must be cleared (x.field = sim.EventHandle{}) somewhere in the package.
+// The clear may live in a different function than the schedule — retire
+// paths are usually separate — so the accounting is per field object, not
+// per function.
+func checkHandleFieldsCleared(pass *analysis.Pass) {
+	handleFields := map[types.Object]bool{}
+	for id, obj := range pass.TypesInfo.Defs {
+		_ = id
+		if v, ok := obj.(*types.Var); ok && v.IsField() && isEventHandleType(v.Type()) {
+			handleFields[obj] = true
+		}
+	}
+	if len(handleFields) == 0 {
+		return
+	}
+	schedPos := map[types.Object]token.Pos{}
+	cleared := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[sel.Sel]
+				if obj == nil || !handleFields[obj] {
+					continue
+				}
+				switch as.Rhs[i].(type) {
+				case *ast.CallExpr:
+					if p, seen := schedPos[obj]; !seen || lhs.Pos() < p {
+						schedPos[obj] = lhs.Pos()
+					}
+				case *ast.CompositeLit:
+					cleared[obj] = true
+				default:
+					// Copying one handle field to another neither schedules
+					// nor clears; ignore.
+				}
+			}
+			return true
+		})
+	}
+	for obj, pos := range schedPos {
+		if cleared[obj] {
+			continue
+		}
+		pass.Reportf(pos,
+			"EventHandle field %s is scheduled into but never cleared; a retired object "+
+				"would carry a live handle into its next checkout — assign sim.EventHandle{} "+
+				"on the completion/retire path",
+			obj.Name())
+	}
+}
+
+// checkHandleUseAfterPut applies rule 2 per function: after a pool putter
+// releases an object, Engine.Cancel/Canceled/Scheduled must not be invoked
+// on anything reachable from it — the recycled slot may already carry the
+// next occupant's handle.
+func checkHandleUseAfterPut(pass *analysis.Pass, fn *ast.FuncDecl) {
+	putEnd := map[types.Object]token.Pos{}
+	putName := map[types.Object]string{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || !poolPutters[calleeName(call)] {
+			return true
+		}
+		root := lvalueRoot(call.Args[0])
+		if root == nil {
+			return true
+		}
+		obj := objOf(pass, root)
+		if obj == nil || !declaredWithin(obj, fn) {
+			return true
+		}
+		if end, seen := putEnd[obj]; !seen || call.End() < end {
+			putEnd[obj] = call.End()
+			putName[obj] = calleeName(call)
+		}
+		return true
+	})
+	if len(putEnd) == 0 {
+		return
+	}
+	kill := map[types.Object]token.Pos{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := objOf(pass, id)
+			end, hasPut := putEnd[obj]
+			if !hasPut || as.Pos() <= end {
+				continue
+			}
+			if k, seen := kill[obj]; !seen || as.Pos() < k {
+				kill[obj] = as.Pos()
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isEngineMethod(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			var obj types.Object
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if obj != nil {
+					return false
+				}
+				if id, ok := m.(*ast.Ident); ok {
+					if o := pass.TypesInfo.Uses[id]; o != nil {
+						if _, tracked := putEnd[o]; tracked {
+							obj = o
+						}
+					}
+				}
+				return obj == nil
+			})
+			if obj == nil {
+				continue
+			}
+			end := putEnd[obj]
+			if call.Pos() <= end {
+				continue
+			}
+			if k, killed := kill[obj]; killed && call.Pos() >= k {
+				continue
+			}
+			sel := call.Fun.(*ast.SelectorExpr)
+			pass.Reportf(call.Pos(),
+				"%s on a handle of %s after %s recycled it; the slot may already belong "+
+					"to the next occupant — cancel before releasing the object",
+				sel.Sel.Name, obj.Name(), putName[obj])
+			return true
+		}
+		return true
+	})
+}

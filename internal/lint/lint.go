@@ -1,8 +1,9 @@
-// Package lint is the determinism lint suite: five custom analyzers, written
-// against the go/analysis-compatible shim in internal/lint/analysis, that
-// mechanically enforce the reproducibility invariants the experiments depend
-// on (DESIGN.md §5b). The suite is compiled into the cmd/concordialint
-// vettool and gated in `make lint`.
+// Package lint is the determinism and memory-discipline lint suite: eight
+// custom analyzers, written against the go/analysis-compatible shim in
+// internal/lint/analysis, that mechanically enforce the reproducibility
+// invariants the experiments depend on (DESIGN.md §5b) and the zero-alloc
+// ownership rules the hot path depends on (DESIGN.md §5g). The suite is
+// compiled into the cmd/concordialint vettool and gated in `make lint`.
 //
 // The invariants, one analyzer each:
 //
@@ -15,14 +16,22 @@
 //   - maporder: no iteration-order-dependent work inside `range` over a map.
 //   - floatsum: no shared floating-point accumulation inside parallel
 //     callbacks; shard results reduce in index order (parallel.SumOrdered).
+//   - poolescape: freelist checkouts (getDAG/acquireRun) stay local to the
+//     borrowing function and are not touched after the matching put/recycle;
+//     owner methods opt out with //lint:pool-owner.
+//   - scratchalias: *Into/*Append builder results are not retained past the
+//     next call on the same scratch buffer (receiver store-backs exempt).
+//   - handleliveness: sim.EventHandle fields scheduled into are also cleared,
+//     and handles of recycled pool objects are not Canceled afterwards.
 //
 // A finding is silenced — never disabled — with a justified suppression
 // comment on or directly above the offending line:
 //
 //	//lint:allow <rule> <reason>
 //
-// The driver counts suppressions and reports them, flags suppressions with
-// no reason, and flags stale suppressions that no longer match a finding.
+// The driver counts suppressions and reports them, and hard-fails on
+// suppressions with no reason, suppressions naming an unknown rule, and
+// stale suppressions that no longer match a finding.
 package lint
 
 import (
@@ -36,7 +45,9 @@ import (
 	"concordia/internal/lint/analysis"
 )
 
-// Analyzers returns the full determinism suite in stable order.
+// Analyzers returns the full suite in stable order: the determinism
+// analyzers (DESIGN.md §5b) followed by the memory-ownership analyzers
+// (DESIGN.md §5g).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Walltime,
@@ -44,6 +55,9 @@ func Analyzers() []*analysis.Analyzer {
 		GoroutineScope,
 		MapOrder,
 		FloatSum,
+		PoolEscape,
+		ScratchAlias,
+		HandleLiveness,
 	}
 }
 
@@ -111,7 +125,20 @@ func runUnit(u *Unit, analyzers []*analysis.Analyzer, checkUnused bool) *Result 
 		}
 	}
 	if checkUnused {
+		known := map[string]bool{}
+		for _, a := range analyzers {
+			known[a.Name] = true
+		}
 		for _, al := range allows {
+			if !known[al.Rule] {
+				res.Problems = append(res.Problems, Diag{
+					Pos:  u.Fset.Position(al.Pos),
+					Rule: "lint",
+					Message: fmt.Sprintf("unknown rule %q in //lint:allow: known rules are %s",
+						al.Rule, strings.Join(analyzerNames(analyzers), ", ")),
+				})
+				continue
+			}
 			if !al.Used {
 				res.Problems = append(res.Problems, Diag{
 					Pos:  u.Fset.Position(al.Pos),

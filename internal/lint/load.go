@@ -126,9 +126,12 @@ func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.
 
 // parseDir parses the buildable Go files of dir, split into production files
 // (plus in-package test files when withTests is set) and external-test-package
-// files. Files carrying //go:build constraints are skipped: the repository
-// compiles everything unconditionally, and honoring arbitrary constraints
-// would require replicating go/build here.
+// files. Files carrying //go:build constraints are skipped unless the
+// constraint is satisfied by the default (tagless) build — i.e. it consists
+// solely of negated tags, like the `!poolcheck` no-op stubs. Replicating full
+// go/build constraint evaluation is out of scope; files needing positive tags
+// (tools, poolcheck_on) are exactly the ones a default `go build` excludes
+// too, so skipping them keeps the lint view aligned with the shipped binary.
 func (l *Loader) parseDir(dir string, withTests bool) (prod, xtest []*ast.File, err error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -168,7 +171,10 @@ func (l *Loader) parseDir(dir string, withTests bool) (prod, xtest []*ast.File, 
 }
 
 // constrained reports whether the file carries a //go:build (or legacy
-// // +build) constraint before its package clause.
+// // +build) constraint before its package clause that excludes it from the
+// default, tagless build. Constraints made solely of negated plain tags
+// (`//go:build !poolcheck`, `!a && !b`) are satisfied with no tags set, so
+// those files are analyzed; anything requiring a positive tag is skipped.
 func constrained(f *ast.File) bool {
 	for _, cg := range f.Comments {
 		if cg.Pos() >= f.Package {
@@ -176,12 +182,50 @@ func constrained(f *ast.File) bool {
 		}
 		for _, c := range cg.List {
 			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-			if strings.HasPrefix(text, "go:build") || strings.HasPrefix(text, "+build") {
-				return true
+			if rest, ok := strings.CutPrefix(text, "go:build"); ok {
+				if !defaultBuildSatisfied(rest) {
+					return true
+				}
+				continue
+			}
+			if rest, ok := strings.CutPrefix(text, "+build"); ok {
+				if !defaultBuildSatisfied(rest) {
+					return true
+				}
 			}
 		}
 	}
 	return false
+}
+
+// defaultBuildSatisfied conservatively evaluates a build-constraint
+// expression under the empty tag set: true only when every term is a negated
+// plain tag (separators `&&`, `||`, `,` and spaces all reduce to the same
+// answer then — each `!tag` term is individually true with no tags defined).
+// Any positive term, parenthesis, or other syntax yields false, erring
+// toward skipping the file.
+func defaultBuildSatisfied(expr string) bool {
+	fields := strings.FieldsFunc(expr, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	})
+	terms := 0
+	for _, tok := range fields {
+		if tok == "&&" || tok == "||" {
+			continue
+		}
+		name, ok := strings.CutPrefix(tok, "!")
+		if !ok || name == "" {
+			return false
+		}
+		for _, r := range name {
+			if !(r == '_' || r == '.' || r == '-' ||
+				('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9')) {
+				return false
+			}
+		}
+		terms++
+	}
+	return terms > 0
 }
 
 // LoadDir type-checks the package in dir (with import path path) and returns

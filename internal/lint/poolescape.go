@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"concordia/internal/lint/analysis"
+)
+
+// PoolEscape enforces the freelist checkout contract from DESIGN.md §5f: a
+// value obtained from a pool getter (getDAG, acquireRun) is on loan. Within
+// the borrowing function it may be read, passed onward, or returned (both
+// transfer ownership to the callee/caller) — but it must not be stored
+// anywhere that outlives the call (struct fields, package variables,
+// captured by a closure), and it must not be touched after the matching
+// put*/recycle call hands it back. The pool's own admission path, which by
+// design retains what it checks out, declares that with //lint:pool-owner
+// in its doc comment.
+var PoolEscape = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc: "forbid retaining or reusing freelist-checked-out values (getDAG/acquireRun) " +
+		"beyond the borrowing function or past the matching put/recycle call; " +
+		"owner methods opt out with //lint:pool-owner",
+	Run: runPoolEscape,
+}
+
+func runPoolEscape(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || hasOwnerMarker(fn) {
+				continue
+			}
+			checkPoolEscapeFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+// getterCall returns the getter's name when call is a pool-getter invocation.
+func getterCall(call *ast.CallExpr) (string, bool) {
+	name := calleeName(call)
+	return name, poolGetters[name]
+}
+
+// checkPoolEscapeFunc runs the three per-function passes: collect origins
+// (locals holding getter results), locate the put calls that end each loan,
+// then flag escapes and uses-after-put.
+func checkPoolEscapeFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// Pass 1: origins — locals assigned directly from a getter call, paired
+	// positionally (d := p.getDAG()). Multi-value getter returns do not occur
+	// in this codebase; a getter rhs only pairs when Lhs and Rhs align 1:1.
+	origins := map[types.Object]bool{}
+	originName := map[types.Object]string{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			name, isGetter := getterCall(call)
+			if !isGetter {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := objOf(pass, id); obj != nil && declaredWithin(obj, fn) {
+				origins[obj] = true
+				originName[obj] = name
+			}
+		}
+		return true
+	})
+	// Even with no origin locals, pass 3 still checks direct stores of a
+	// getter call's result (global = p.getDAG()).
+
+	// Pass 2: for each origin, the position where its loan ends — the first
+	// putter call whose argument is (or aliases) the origin — and the kill
+	// point where the variable is rebound afterwards (a fresh loan).
+	putEnd := map[types.Object]token.Pos{}
+	putName := map[types.Object]string{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || !poolPutters[calleeName(call)] {
+			return true
+		}
+		obj := aliasedOrigin(pass, call.Args[0], origins)
+		if obj == nil {
+			return true
+		}
+		if end, seen := putEnd[obj]; !seen || call.End() < end {
+			putEnd[obj] = call.End()
+			putName[obj] = calleeName(call)
+		}
+		return true
+	})
+	kill := map[types.Object]token.Pos{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := objOf(pass, id)
+			end, hasPut := putEnd[obj]
+			if !hasPut || as.Pos() <= end {
+				continue
+			}
+			if k, seen := kill[obj]; !seen || as.Pos() < k {
+				kill[obj] = as.Pos()
+			}
+		}
+		return true
+	})
+
+	// Pass 3: report escapes (stores into long-lived memory, closure
+	// captures) and uses after the loan ended.
+	reportedCapture := map[*ast.FuncLit]map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, rhs := range x.Rhs {
+				var obj types.Object
+				var name string
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if gname, isGetter := getterCall(call); isGetter {
+						obj, name = nil, gname
+						if escapes, route := storeEscapes(pass, fn, x.Lhs[i], nil); escapes {
+							pass.Reportf(x.Lhs[i].Pos(),
+								"%s result stored in %s escapes the freelist loan; "+
+									"keep checked-out values local or mark the owning method //lint:pool-owner",
+								name, route)
+						}
+						continue
+					}
+				}
+				obj = aliasedOrigin(pass, rhs, origins)
+				if obj == nil {
+					continue
+				}
+				if t := pass.TypesInfo.Types[rhs].Type; t == nil || !retainsMemory(t) {
+					continue
+				}
+				name = originName[obj]
+				if escapes, route := storeEscapes(pass, fn, x.Lhs[i], nil); escapes {
+					pass.Reportf(x.Lhs[i].Pos(),
+						"value checked out via %s stored in %s escapes the freelist loan; "+
+							"keep checked-out values local or mark the owning method //lint:pool-owner",
+						name, route)
+				}
+			}
+		case *ast.FuncLit:
+			seen := reportedCapture[x]
+			if seen == nil {
+				seen = map[types.Object]bool{}
+				reportedCapture[x] = seen
+			}
+			ast.Inspect(x.Body, func(m ast.Node) bool {
+				if inner, ok := m.(*ast.FuncLit); ok && inner != x {
+					return false // the nested literal reports its own captures
+				}
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil || !origins[obj] || declaredWithin(obj, x) || seen[obj] {
+					return true
+				}
+				seen[obj] = true
+				pass.Reportf(id.Pos(),
+					"closure captures %s, checked out via %s; the closure may outlive the "+
+						"loan and alias a recycled object — pass it as a parameter or copy "+
+						"the scalar fields you need",
+					obj.Name(), originName[obj])
+				return true
+			})
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[x]
+			if obj == nil || !origins[obj] {
+				return true
+			}
+			end, hasPut := putEnd[obj]
+			if !hasPut || x.Pos() <= end {
+				return true
+			}
+			if k, killed := kill[obj]; killed && x.Pos() >= k {
+				return true // rebound: a fresh loan, not the recycled one
+			}
+			pass.Reportf(x.Pos(),
+				"%s used after %s returned it to the freelist; the object may already "+
+					"be recycled into another slot — finish all uses before the put call",
+				obj.Name(), putName[obj])
+		}
+		return true
+	})
+}

@@ -59,8 +59,9 @@ func TestModuleLintsClean(t *testing.T) {
 }
 
 // TestPlantedViolationsAreCaught is the acceptance check from the issue: a
-// time.Now() planted in internal/scheduler and a raw go statement planted in
-// internal/experiments must each produce a finding naming the rule and the
+// time.Now() planted in internal/scheduler, a raw go statement planted in
+// internal/experiments, and a freelist checkout retained past its loan in
+// internal/pool must each produce a finding naming the rule and the
 // sanctioned alternative. Rather than mutating the tree, it runs the suite
 // over a scratch module whose packages mirror those paths.
 func TestPlantedViolationsAreCaught(t *testing.T) {
@@ -81,6 +82,31 @@ func Fan(n int, fn func(int)) {
 	}
 }
 `,
+		"internal/pool/pool.go": `package pool
+
+type dag struct{ tasks []int }
+
+type Pool struct {
+	free []*dag
+	held []*dag
+}
+
+func (p *Pool) getDAG() *dag {
+	if n := len(p.free); n > 0 {
+		d := p.free[n-1]
+		p.free = p.free[:n-1]
+		return d
+	}
+	return &dag{}
+}
+
+func (p *Pool) putDAG(d *dag) { p.free = append(p.free, d) }
+
+func (p *Pool) Leak() {
+	d := p.getDAG()
+	p.held = append(p.held, d)
+}
+`,
 	})
 	res, err := lint.RunModule(root, nil)
 	if err != nil {
@@ -88,8 +114,58 @@ func Fan(n int, fn func(int)) {
 	}
 	requireFinding(t, res, "walltime", "internal/scheduler/sched.go", "sim.Engine.Now")
 	requireFinding(t, res, "goroutinescope", "internal/experiments/exp.go", "parallel.ForEach")
-	if len(res.Diags) != 2 {
-		t.Errorf("want exactly the 2 planted findings, got %d: %v", len(res.Diags), res.Diags)
+	requireFinding(t, res, "poolescape", "internal/pool/pool.go", "lint:pool-owner")
+	if len(res.Diags) != 3 {
+		t.Errorf("want exactly the 3 planted findings, got %d: %v", len(res.Diags), res.Diags)
+	}
+}
+
+// TestSuppressionAccountingHardFails pins satellite behaviour: a stale
+// //lint:allow (matching no finding) and one naming an unknown rule must each
+// surface as Problems that flip Clean() to false, so they fail `make lint`
+// rather than accumulating silently.
+func TestSuppressionAccountingHardFails(t *testing.T) {
+	root := t.TempDir()
+	writeScratchModule(t, root, map[string]string{
+		"go.mod": "module concordia\n\ngo 1.22\n",
+		"internal/x/x.go": `package x
+
+func ok() int {
+	return 1 //lint:allow walltime nothing on this line reads the clock
+}
+
+func alsoOK() int {
+	return 2 //lint:allow walltome typo in the rule name
+}
+`,
+	})
+	res, err := lint.RunModule(root, nil)
+	if err != nil {
+		t.Fatalf("RunModule: %v", err)
+	}
+	if res.Clean() {
+		t.Fatal("Clean() = true despite a stale and an unknown-rule suppression")
+	}
+	if len(res.Diags) != 0 {
+		t.Errorf("no analyzer findings expected, got %v", res.Diags)
+	}
+	var stale, unknown bool
+	for _, p := range res.Problems {
+		if strings.Contains(p.Message, "stale //lint:allow walltime") {
+			stale = true
+		}
+		if strings.Contains(p.Message, `unknown rule "walltome"`) {
+			if !strings.Contains(p.Message, "poolescape") {
+				t.Errorf("unknown-rule problem should list the known rules, got: %s", p.Message)
+			}
+			unknown = true
+		}
+	}
+	if !stale {
+		t.Errorf("no stale-suppression problem reported; problems: %v", res.Problems)
+	}
+	if !unknown {
+		t.Errorf("no unknown-rule problem reported; problems: %v", res.Problems)
 	}
 }
 

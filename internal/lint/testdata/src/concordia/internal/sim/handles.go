@@ -1,0 +1,44 @@
+// handles.go gives the fixture sim package the handle surface the
+// handleliveness fixtures import: a generation-tagged EventHandle, an Engine
+// with schedule/cancel methods, and a Ticker whose ev field is scheduled
+// into but never cleared — the simulator-internal bookkeeping pattern that
+// the handleliveness allowlist must exempt (the engine owns slot recycling,
+// so its own handles cannot go stale).
+package sim
+
+// Time mirrors the virtual clock's tick type.
+type Time int64
+
+// EventHandle is a generation-tagged reference to a scheduled event.
+type EventHandle struct {
+	idx int32
+	gen uint32
+}
+
+// Engine is the fixture stand-in for the event engine.
+type Engine struct {
+	now Time
+}
+
+// After schedules fn and returns a cancelable handle.
+func (e *Engine) After(d Time, fn func()) EventHandle {
+	return EventHandle{idx: 1, gen: 1}
+}
+
+// Cancel revokes h if its generation is still current.
+func (e *Engine) Cancel(h EventHandle) bool { return h.gen != 0 }
+
+// Canceled reports whether h was revoked.
+func (e *Engine) Canceled(h EventHandle) bool { return h.gen == 0 }
+
+// Ticker re-arms itself each period; ev is overwritten on every fire and
+// never cleared, which only this package may do.
+type Ticker struct {
+	ev EventHandle
+}
+
+// Start arms t. The never-cleared ev store below is exactly what
+// handleliveness forbids outside this allowlisted package.
+func (e *Engine) Start(t *Ticker, period Time) {
+	t.ev = e.After(period, func() {})
+}

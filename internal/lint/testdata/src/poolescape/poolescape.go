@@ -1,0 +1,120 @@
+// Package poolescape is a fixture for the poolescape analyzer: buf plays the
+// pooled object, pool carries the conventional getter/putter method names
+// the analyzer keys on (getDAG, putDAG, acquireRun).
+package poolescape
+
+type buf struct {
+	data []byte
+	id   int
+}
+
+type pool struct {
+	free   []*buf
+	cached *buf
+	held   []*buf
+	count  int
+}
+
+func (p *pool) getDAG() *buf {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return &buf{}
+}
+
+func (p *pool) acquireRun(b *buf) *buf { return b }
+
+func (p *pool) putDAG(b *buf) { p.free = append(p.free, b) }
+
+var global *buf
+
+func sink(b *buf) {}
+
+// Violations: a checked-out value escaping the borrowing function.
+
+func storeInPackageVar(p *pool) {
+	global = p.getDAG() // want "stored in package-level variable global"
+}
+
+func storeInField(p *pool) {
+	d := p.getDAG()
+	p.cached = d // want "stored in memory reachable through p"
+	p.putDAG(d)
+}
+
+func appendToField(p *pool) {
+	d := p.getDAG()
+	p.held = append(p.held, d) // want "stored in memory reachable through p"
+}
+
+func capture(p *pool) func() {
+	d := p.getDAG()
+	return func() {
+		sink(d) // want "closure captures d"
+	}
+}
+
+func useAfterPut(p *pool) int {
+	d := p.getDAG()
+	p.putDAG(d)
+	return d.id // want "used after putDAG returned it to the freelist"
+}
+
+// Negatives: local use within the loan, ownership transfer, scalar copies,
+// and rebinding to a fresh loan.
+
+func localUse(p *pool) int {
+	d := p.getDAG()
+	n := len(d.data)
+	p.putDAG(d)
+	return n
+}
+
+func transferByReturn(p *pool) *buf {
+	return p.getDAG()
+}
+
+func transferByArg(p *pool) {
+	sink(p.getDAG())
+}
+
+func scalarCopy(p *pool) {
+	d := p.getDAG()
+	p.count = d.id
+	p.putDAG(d)
+}
+
+func localSliceSlot(p *pool) int {
+	locals := make([]*buf, 1)
+	d := p.getDAG()
+	locals[0] = d
+	n := locals[0].id
+	p.putDAG(d)
+	return n
+}
+
+func rebind(p *pool) int {
+	d := p.getDAG()
+	p.putDAG(d)
+	d = p.getDAG() // a fresh loan, not the recycled one
+	n := d.id
+	p.putDAG(d)
+	return n
+}
+
+// admit retains what it checks out: the declared-owner escape hatch.
+//
+// lint:pool-owner — fixture owner method retaining its own checkouts.
+func (p *pool) admit() {
+	d := p.getDAG()
+	p.held = append(p.held, d)
+}
+
+// Suppressed: an annotated escape passes, and the reason is carried into the
+// suppression report.
+func suppressedEscape(p *pool) {
+	d := p.getDAG()
+	global = d //lint:allow poolescape fixture exercises the suppression path
+}

@@ -387,6 +387,10 @@ type Pool struct {
 	slotAlloc ran.SlotAllocator
 	// stDAGs is the schedulerState scratch; policies must not retain it.
 	stDAGs []scheduler.DAGState
+
+	// pc is the poolcheck sanitizer state (DESIGN.md §5g): empty struct and
+	// no-op hooks unless built with -tags poolcheck.
+	pc poolPC
 }
 
 // New validates the configuration and builds the pool.
@@ -436,8 +440,16 @@ func New(cfg Config) (*Pool, error) {
 	}
 	p.kTaskDone = p.eng.RegisterKind(func(a, _ int64) { p.onTaskDone(int(a)) })
 	p.kOffloadSubmitted = p.eng.RegisterKind(func(a, _ int64) { p.onOffloadSubmitted(int(a)) })
-	p.kOffloadDone = p.eng.RegisterKind(func(a, b int64) { p.onOffloadDone(&p.runTable[a].tasks[b]) })
-	p.kOffloadTimeout = p.eng.RegisterKind(func(a, b int64) { p.onOffloadTimeout(&p.runTable[a].tasks[b]) })
+	p.kOffloadDone = p.eng.RegisterKind(func(a, b int64) {
+		run := p.runTable[a]
+		p.pc.checkLive(run)
+		p.onOffloadDone(&run.tasks[b])
+	})
+	p.kOffloadTimeout = p.eng.RegisterKind(func(a, b int64) {
+		run := p.runTable[a]
+		p.pc.checkLive(run)
+		p.onOffloadTimeout(&run.tasks[b])
+	})
 	p.kCoreAwake = p.eng.RegisterKind(func(a, _ int64) { p.onCoreAwake(int(a)) })
 	if cfg.Faults != nil {
 		// The injector derives its seed as a pure substream of the pool seed:
@@ -639,6 +651,7 @@ func (p *Pool) acquireRun(d *ran.DAG) *dagRun {
 	run.dropped = false
 	run.cpuTime = 0
 	run.offloadTime = 0
+	p.pc.acquire(run)
 	return run
 }
 
@@ -649,6 +662,7 @@ func (p *Pool) maybeRecycle(run *dagRun) {
 	if !run.retired || run.refs != 0 {
 		return
 	}
+	p.pc.recycle(run)
 	run.retired = false // also guards against a double recycle
 	p.putDAG(run.dag)
 	run.dag = nil
@@ -674,6 +688,10 @@ func (p *Pool) buildDir(cell ran.CellConfig, slot int, release, deadline sim.Tim
 
 // releaseDAG admits a DAG: predicts every task's WCET, computes tail
 // critical paths, and enqueues the roots.
+//
+// lint:pool-owner — this is the pool's admission path. It checks the run out
+// of the freelist and retains it (p.dags, task back-pointers) precisely
+// because the pool owns run lifetimes from here until maybeRecycle.
 func (p *Pool) releaseDAG(d *ran.DAG) {
 	if d == nil {
 		return
@@ -762,6 +780,7 @@ func (p *Pool) readyTotal() int {
 // task_enqueue trace event cover all paths (roots, successors, rotation
 // handoffs).
 func (p *Pool) pushReady(t *task, now sim.Time) {
+	p.pc.checkLive(t.dag)
 	t.readyAt = now
 	p.queues[p.queueIndex(t.node.CellID)].push(t)
 	if p.tel != nil {
@@ -816,6 +835,7 @@ func (p *Pool) idleRANCore() int {
 // startTask runs t on core ci. Offloadable tasks occupy the core only for
 // the accelerator submit cost; the device completes them asynchronously.
 func (p *Pool) startTask(ci int, t *task, now sim.Time) {
+	p.pc.checkLive(t.dag)
 	p.accountCoreTime(now)
 	c := &p.cores[ci]
 	c.state = coreBusyRAN

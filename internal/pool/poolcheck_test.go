@@ -1,0 +1,111 @@
+//go:build poolcheck
+
+package pool
+
+import (
+	"strings"
+	"testing"
+
+	"concordia/internal/ran"
+)
+
+// These tests exercise the poolcheck sanitizer directly (DESIGN.md §5g):
+// each one commits a memory-discipline violation the static analyzers would
+// flag in source form and asserts the runtime side catches it too. They only
+// compile under -tags poolcheck; `make poolcheck` and the CI poolcheck job
+// run them.
+
+// dagWithTasks builds a minimal n-task DAG without the builder front-ends.
+func dagWithTasks(n int) *ran.DAG {
+	nodes := make([]ran.Task, n)
+	d := &ran.DAG{}
+	for i := range nodes {
+		nodes[i].ID = i
+		d.Tasks = append(d.Tasks, &nodes[i])
+	}
+	return d
+}
+
+func wantPanic(t *testing.T, substrs ...string) {
+	t.Helper()
+	r := recover()
+	if r == nil {
+		t.Fatalf("expected a poolcheck panic containing %q; got none", substrs)
+	}
+	msg, ok := r.(string)
+	if !ok {
+		t.Fatalf("expected a string panic, got %T: %v", r, r)
+	}
+	for _, s := range substrs {
+		if !strings.Contains(msg, s) {
+			t.Errorf("panic %q does not contain %q", msg, s)
+		}
+	}
+}
+
+// TestPoolcheckCatchesUseAfterRecycle is the dynamic half of the issue's
+// acceptance criterion: a task pointer retained across its run's recycle
+// (exactly what the poolescape analyzer forbids statically) must panic with
+// the owning release seq at the next queue insertion.
+func TestPoolcheckCatchesUseAfterRecycle(t *testing.T) {
+	p := &Pool{queues: make([]readyQueue, 1)}
+	run := p.acquireRun(dagWithTasks(2))
+	run.seq = 7
+	// Admission (releaseDAG) wires each task's back-pointers; mimic it for
+	// the one task the test retains.
+	run.tasks[0] = task{dag: run, node: run.dag.Tasks[0], heapIndex: -1}
+	stale := &run.tasks[0] // the retained alias
+	run.retired = true
+	p.maybeRecycle(run)
+
+	defer wantPanic(t, "use-after-recycle of dagRun 0", "seq 7")
+	p.pushReady(stale, 0)
+}
+
+func TestPoolcheckDoubleRecyclePanics(t *testing.T) {
+	p := &Pool{}
+	run := p.acquireRun(dagWithTasks(1))
+	run.seq = 3
+	run.retired = true
+	p.maybeRecycle(run)
+
+	// maybeRecycle's own retired guard normally makes a second call a no-op;
+	// re-retiring the freed run models the state corruption the sanitizer
+	// exists to catch.
+	run.retired = true
+	defer wantPanic(t, "double recycle of dagRun 0", "first release seq 3")
+	p.maybeRecycle(run)
+}
+
+func TestPoolcheckSlabCanary(t *testing.T) {
+	p := &Pool{}
+	// First checkout sizes the slab to 4 tasks; recycling frees the run.
+	run := p.acquireRun(dagWithTasks(4))
+	run.retired = true
+	p.maybeRecycle(run)
+
+	// Second checkout reuses the capacity-4 slab for 2 live tasks, planting
+	// the canary in the first spare entry. A write past the live length —
+	// the slab-overflow bug class — clobbers it.
+	run = p.acquireRun(dagWithTasks(2))
+	run.tasks[:cap(run.tasks)][2].predicted = 0
+	run.retired = true
+	defer wantPanic(t, "slab canary clobbered", "2 live tasks")
+	p.maybeRecycle(run)
+}
+
+// TestPoolcheckCleanLifecycle pins the no-false-positive side: a normal
+// acquire/retire/recycle/reacquire cycle must not trip the sanitizer.
+func TestPoolcheckCleanLifecycle(t *testing.T) {
+	p := &Pool{}
+	for i := 0; i < 3; i++ {
+		run := p.acquireRun(dagWithTasks(3))
+		run.seq = int64(i)
+		p.pc.checkLive(run)
+		run.retired = true
+		p.maybeRecycle(run)
+	}
+	if len(p.runTable) != 1 {
+		t.Errorf("freelist not reused: runTable has %d entries, want 1", len(p.runTable))
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !poolcheck
+
+package ran
+
+// PoolcheckEnabled reports whether the poolcheck sanitizer (DESIGN.md §5g)
+// is compiled in. Normal builds carry only this constant and an empty
+// PoolcheckPoison, so the zero-alloc hot path pays nothing.
+const PoolcheckEnabled = false
+
+// PoolcheckPoison is a no-op without the poolcheck build tag.
+func PoolcheckPoison(d *DAG, seq int64) {}

@@ -1,0 +1,44 @@
+//go:build poolcheck
+
+package ran
+
+// PoolcheckEnabled reports whether the poolcheck sanitizer (DESIGN.md §5g)
+// is compiled in.
+const PoolcheckEnabled = true
+
+// Poison values (DESIGN.md §5g): recognizable in a debugger (0xDD = "dead")
+// and chosen to crash loudly rather than corrupt silently. pcPoisonKind in
+// particular sits past NumTaskKinds, so a stale cost-model or predictor
+// lookup indexed by a poisoned Kind panics with an out-of-range index
+// instead of reading another run's coefficients.
+const (
+	pcPoisonKind TaskKind = NumTaskKinds + 0xDD
+	pcPoisonID            = -0xDD
+)
+
+// PoolcheckPoison marks a DAG dead on its way back to the freelist: header
+// fields and every slab entry are overwritten with poison, and the Tasks and
+// roots views are truncated so any len()-based iteration sees an empty
+// graph. The next builder call re-prepares the DAG from scratch, so the
+// poison costs nothing to undo. seq identifies the owning release in panic
+// triage; it is not stored (the pool keeps it), only documented here as the
+// recycle token the pool panics with.
+func PoolcheckPoison(d *DAG, seq int64) {
+	if d == nil {
+		return
+	}
+	_ = seq
+	d.CellID = pcPoisonID
+	d.Slot = pcPoisonID
+	d.Release = -1
+	d.Deadline = -1
+	for i := range d.slab {
+		t := &d.slab[i]
+		t.Kind = pcPoisonKind
+		t.ID = pcPoisonID
+		t.CellID = pcPoisonID
+		t.UE = pcPoisonID
+	}
+	d.Tasks = d.Tasks[:0]
+	d.roots = d.roots[:0]
+}

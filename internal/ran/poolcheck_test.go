@@ -1,0 +1,67 @@
+//go:build poolcheck
+
+package ran
+
+import "testing"
+
+// Poolcheck poison tests for DAG slabs (DESIGN.md §5g). Only compiled under
+// -tags poolcheck.
+
+func TestPoolcheckPoisonMarksSlabDead(t *testing.T) {
+	d := &DAG{}
+	d.prepare(1, 2, Uplink, 0, 1000, 2)
+	root := d.addTask(TaskFFT, -1, FeatureVector{})
+	d.addTask(TaskChannelEstimation, -1, FeatureVector{}, root)
+	d.finalize()
+
+	stale := d.Tasks[0] // a pointer retained across the recycle
+	PoolcheckPoison(d, 9)
+
+	if len(d.Tasks) != 0 || len(d.roots) != 0 {
+		t.Errorf("poisoned DAG still exposes %d tasks / %d roots", len(d.Tasks), len(d.roots))
+	}
+	if stale.Kind < NumTaskKinds {
+		t.Errorf("stale task kind %v not poisoned; a cost-model lookup would silently succeed", stale.Kind)
+	}
+	if stale.ID != pcPoisonID || stale.UE != pcPoisonID {
+		t.Errorf("stale task IDs not poisoned: ID=%d UE=%d", stale.ID, stale.UE)
+	}
+	if d.CellID != pcPoisonID || d.Slot != pcPoisonID {
+		t.Errorf("DAG header not poisoned: cell=%d slot=%d", d.CellID, d.Slot)
+	}
+}
+
+// TestPoolcheckPoisonedKindPanicsOnLookup pins the poison's design: a stale
+// Kind indexes past every per-kind table, so the first lookup crashes
+// instead of reading another run's entry.
+func TestPoolcheckPoisonedKindPanicsOnLookup(t *testing.T) {
+	d := &DAG{}
+	d.prepare(0, 0, Uplink, 0, 1000, 1)
+	d.addTask(TaskFFT, -1, FeatureVector{})
+	d.finalize()
+	stale := d.Tasks[0]
+	PoolcheckPoison(d, 1)
+
+	var table [NumTaskKinds]float64
+	defer func() {
+		if recover() == nil {
+			t.Fatal("indexing a per-kind table with a poisoned Kind did not panic")
+		}
+	}()
+	_ = table[stale.Kind]
+}
+
+func TestPoolcheckPrepareUnpoisons(t *testing.T) {
+	d := &DAG{}
+	d.prepare(1, 2, Uplink, 0, 1000, 1)
+	d.addTask(TaskFFT, -1, FeatureVector{})
+	d.finalize()
+	PoolcheckPoison(d, 1)
+
+	d.prepare(3, 4, Downlink, 0, 500, 1)
+	id := d.addTask(TaskFFT, -1, FeatureVector{})
+	d.finalize()
+	if d.CellID != 3 || d.Tasks[id].Kind != TaskFFT {
+		t.Errorf("rebuild after poison left stale state: cell=%d kind=%v", d.CellID, d.Tasks[id].Kind)
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !poolcheck
+
+package sim
+
+// PoolcheckEnabled reports whether the poolcheck sanitizer (DESIGN.md §5g)
+// is compiled in. Normal builds carry an empty enginePC and inlined no-op
+// hooks, so the handle-slot freelist pays nothing.
+const PoolcheckEnabled = false
+
+// enginePC is the per-engine poolcheck state; empty in normal builds.
+type enginePC struct{}
+
+func (*enginePC) take(s uint32, gen uint32) {}
+func (*enginePC) free(s uint32, gen uint32) {}

@@ -1,0 +1,49 @@
+//go:build poolcheck
+
+package sim
+
+import "fmt"
+
+// PoolcheckEnabled reports whether the poolcheck sanitizer (DESIGN.md §5g)
+// is compiled in.
+const PoolcheckEnabled = true
+
+// enginePC shadows the handle-slot freelist with a liveness bit per slot.
+// The generation counters already make stale handles inert; this side table
+// turns freelist corruption itself — a slot handed out twice, or freed
+// twice — into an immediate panic naming the slot and its generation,
+// instead of two events silently sharing a cancel slot.
+type enginePC struct {
+	live []bool // 0-based by slot-1; true while the slot is checked out
+}
+
+func (pc *enginePC) grow(s uint32) {
+	for uint32(len(pc.live)) < s {
+		pc.live = append(pc.live, false)
+	}
+}
+
+// take marks slot s checked out; it must not already be live.
+func (pc *enginePC) take(s uint32, gen uint32) {
+	pc.grow(s)
+	if pc.live[s-1] {
+		panic(fmt.Sprintf(
+			"sim: poolcheck: handle slot %d (gen %d) handed out while still live; "+
+				"the slot freelist is corrupt — a freeSlot call was lost or a slot index duplicated",
+			s, gen))
+	}
+	pc.live[s-1] = true
+}
+
+// free marks slot s returned; freeing a slot that is not live is the classic
+// double free.
+func (pc *enginePC) free(s uint32, gen uint32) {
+	pc.grow(s)
+	if !pc.live[s-1] {
+		panic(fmt.Sprintf(
+			"sim: poolcheck: double free of handle slot %d (gen %d); "+
+				"the slot was already returned to the freelist",
+			s, gen))
+	}
+	pc.live[s-1] = false
+}

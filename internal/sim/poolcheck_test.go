@@ -1,0 +1,57 @@
+//go:build poolcheck
+
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// Poolcheck sanitizer tests for the handle-slot freelist (DESIGN.md §5g).
+// Only compiled under -tags poolcheck.
+
+func wantPanic(t *testing.T, substrs ...string) {
+	t.Helper()
+	r := recover()
+	if r == nil {
+		t.Fatalf("expected a poolcheck panic containing %q; got none", substrs)
+	}
+	msg, ok := r.(string)
+	if !ok {
+		t.Fatalf("expected a string panic, got %T: %v", r, r)
+	}
+	for _, s := range substrs {
+		if !strings.Contains(msg, s) {
+			t.Errorf("panic %q does not contain %q", msg, s)
+		}
+	}
+}
+
+func TestPoolcheckDoubleFreePanics(t *testing.T) {
+	e := NewEngine()
+	s := e.takeSlot()
+	e.freeSlot(s)
+	defer wantPanic(t, "double free of handle slot 1")
+	e.freeSlot(s)
+}
+
+func TestPoolcheckLiveSlotHandedOutPanics(t *testing.T) {
+	e := NewEngine()
+	s := e.takeSlot()
+	// Corrupt the freelist: the live slot appears free, so the next take
+	// hands it out twice.
+	e.freeSlots = append(e.freeSlots, s)
+	defer wantPanic(t, "handed out while still live")
+	e.takeSlot()
+}
+
+func TestPoolcheckCleanSlotLifecycle(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 4; i++ {
+		s := e.takeSlot()
+		e.freeSlot(s)
+	}
+	if len(e.slots) != 1 {
+		t.Errorf("slot freelist not reused: %d slots, want 1", len(e.slots))
+	}
+}

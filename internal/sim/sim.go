@@ -123,6 +123,10 @@ type Engine struct {
 	freeSlots []uint32
 	canceled  int // canceled events still sitting in the queue
 
+	// pc is the poolcheck sanitizer state (DESIGN.md §5g): empty struct and
+	// no-op hooks unless built with -tags poolcheck.
+	pc enginePC
+
 	kinds []func(a, b int64)
 
 	tickers    []*Ticker
@@ -167,16 +171,20 @@ func (e *Engine) takeSlot() uint32 {
 	if n := len(e.freeSlots); n > 0 {
 		s := e.freeSlots[n-1]
 		e.freeSlots = e.freeSlots[:n-1]
+		e.pc.take(s, e.slots[s-1].gen)
 		return s
 	}
 	e.slots = append(e.slots, hslot{})
-	return uint32(len(e.slots))
+	s := uint32(len(e.slots))
+	e.pc.take(s, 0)
+	return s
 }
 
 // freeSlot retires a handle slot: the generation bump invalidates every
 // outstanding handle before the slot re-enters the freelist.
 func (e *Engine) freeSlot(s uint32) {
 	sl := &e.slots[s-1]
+	e.pc.free(s, sl.gen)
 	sl.gen++
 	sl.canceled = false
 	e.freeSlots = append(e.freeSlots, s)

@@ -17,7 +17,9 @@ import (
 	"testing"
 
 	"concordia/internal/experiments"
+	"concordia/internal/fleet"
 	"concordia/internal/ran"
+	"concordia/internal/traffic"
 )
 
 func benchOpts() experiments.Options {
@@ -298,5 +300,53 @@ func BenchmarkCalibration(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(r.RealUs[len(r.RealUs)-1]/r.RealUs[0], "cb-scaling-ratio")
+	}
+}
+
+// BenchmarkFleetSweep regenerates the fleet pooling sweep and reports the
+// stress point (largest grid, highest load): the deadline-miss rates of the
+// static partition vs the migrating fleet, and the capacity-equalized
+// pooling gain in cores.
+func BenchmarkFleetSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFleet(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		static, pooled := r.Rows[len(r.Rows)-2], r.Rows[len(r.Rows)-1]
+		b.ReportMetric(static.MissPct, "static-miss-pct")
+		b.ReportMetric(pooled.MissPct, "pooled-miss-pct")
+		b.ReportMetric(pooled.CoresSaved, "cores-saved")
+	}
+}
+
+// BenchmarkFleetCoordination times the per-slot fleet-coordination path —
+// folding every cell's slot volume through the placement into the demand
+// tracker — in isolation. allocs/op must stay 0 (the fleet package's alloc
+// gate enforces it; the benchmark keeps it visible in the BENCH_pool.json
+// trajectory that bench-diff gates on).
+func BenchmarkFleetCoordination(b *testing.B) {
+	const cells, servers, slots = 200, 12, 64
+	ul, err := traffic.GenerateScaledTrace(traffic.ScaleSpec{Cells: cells, Seed: 3}, slots)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dl, err := traffic.GenerateScaledTrace(traffic.ScaleSpec{Cells: cells, Seed: 4}, slots)
+	if err != nil {
+		b.Fatal(err)
+	}
+	assign := make([]int, cells)
+	for c := range assign {
+		assign[c] = c % servers
+	}
+	demand := make([]float64, cells)
+	d := fleet.NewDemandTracker(servers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// EndEpoch archives results (it allocates, once per epoch, by
+		// design) — the zero-alloc contract covers the per-slot fold.
+		d.BeginEpoch()
+		fleet.AccumulateEpoch(d, ul, dl, 0, slots, assign, demand)
 	}
 }

@@ -26,6 +26,7 @@ package concordia
 import (
 	"concordia/internal/core"
 	"concordia/internal/faults"
+	"concordia/internal/fleet"
 	"concordia/internal/pool"
 	"concordia/internal/ran"
 	"concordia/internal/sim"
@@ -61,6 +62,16 @@ type (
 	// "class=rate,..." spec with ParseFaults. A nil or all-zero config leaves
 	// every run byte-identical to a fault-free one.
 	FaultsConfig = faults.Config
+	// FleetConfig describes a pooled C-RAN cluster run: N Concordia servers,
+	// hundreds of cells placed by fronthaul latency, migration under
+	// sustained pressure (DESIGN.md §5h). Run with RunFleet.
+	FleetConfig = fleet.Config
+	// FleetResult is a fleet run's outcome: placement and migration counts,
+	// fleet-wide deadline misses, and the pooling-gain accounting.
+	FleetResult = fleet.Result
+	// FleetPlacementConfig tunes the fleet's admission and hysteresis
+	// migration policy.
+	FleetPlacementConfig = fleet.PlacementConfig
 )
 
 // Scheduling policies.
@@ -100,6 +111,12 @@ func NewTelemetry(opts TelemetryOptions) *Telemetry { return telemetry.New(opts)
 // e.g. "lane=0.05,stuck=0.01,burst=5" or the "all" preset. An empty spec
 // returns the zero (disabled) config.
 func ParseFaults(spec string) (FaultsConfig, error) { return faults.Parse(spec) }
+
+// RunFleet simulates a pooled C-RAN cluster: every server is a full
+// Concordia pool+sim instance, cells are admitted within their fronthaul
+// budget and migrate between servers under sustained pressure. Byte-identical
+// at any FleetConfig.Workers count.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) { return fleet.Run(cfg) }
 
 // Scenario20MHz returns the paper's 7×20 MHz FDD deployment preset
 // (2 ms slot deadline). Adjust cells/cores as needed.

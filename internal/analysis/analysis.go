@@ -40,6 +40,12 @@ type Options struct {
 	// DriftWindow is the calibration monitor's window length in samples
 	// (0 = 512).
 	DriftWindow int
+	// MigrationWindow is how long after an EvCellMigrate a miss on the
+	// migrated cell is attributed to the migration itself (ramp-up on the
+	// destination server: cold predictors' pool state, scheduler re-learning
+	// the cell's demand). 0 = 10 ms. Only fleet-level traces carry migrate
+	// events, so the rule is inert on single-pool traces.
+	MigrationWindow sim.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -48,6 +54,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DriftWindow <= 0 {
 		o.DriftWindow = 512
+	}
+	if o.MigrationWindow <= 0 {
+		o.MigrationWindow = 10 * sim.Millisecond
 	}
 	return o
 }
@@ -60,9 +69,16 @@ type Cause int
 // partition the miss count; CauseUnattributed is reserved for misses whose
 // timeline was lost to ring-buffer wraparound.
 const (
+	// CauseMigration: the cell migrated between fleet servers within
+	// Options.MigrationWindow before the miss — destination-server ramp-up
+	// disturbance, not a steady-state scheduling failure. This is a
+	// coordination-level rule: it is checked first and needs no task
+	// timeline, so it still fires on merged fleet traces that carry only
+	// DAG-level events.
+	CauseMigration Cause = iota
 	// CauseUnattributed: the DAG's release or task events were overwritten
 	// by ring wraparound; nothing can be said about why it missed.
-	CauseUnattributed Cause = iota
+	CauseUnattributed
 	// CauseFronthaulLate: admission was delayed past the nominal release
 	// and the DAG would have met its deadline without that delay.
 	CauseFronthaulLate
@@ -87,8 +103,8 @@ const (
 )
 
 var causeNames = [NumCauses]string{
-	"unattributed", "fronthaul_late", "accel_fault", "yield_storm",
-	"wcet_underprediction", "insufficient_cores", "queueing",
+	"migration", "unattributed", "fronthaul_late", "accel_fault",
+	"yield_storm", "wcet_underprediction", "insufficient_cores", "queueing",
 }
 
 // String implements fmt.Stringer.

@@ -276,6 +276,59 @@ func TestAttributeDroppedDAG(t *testing.T) {
 	}
 }
 
+// migrateEv builds an EvCellMigrate for `cell` at time `at` (fleet traces
+// stamp the epoch in Slot and the server pair in A/B).
+func migrateEv(cell int32, at sim.Time) telemetry.Event {
+	mig := ev(telemetry.EvCellMigrate, at)
+	mig.Cell, mig.Slot, mig.A, mig.B, mig.Dur = cell, 1, 0, 1, us(12)
+	return mig
+}
+
+func TestAttributeMigrationWithinWindow(t *testing.T) {
+	// chainDAG's miss is on cell 2 at admit+50 µs; a migration of the same
+	// cell just before must win over the queueing residual.
+	events := append([]telemetry.Event{migrateEv(2, us(10))}, chainDAG(11, 0, 0)...)
+	_, m := analyzeOne(t, events)
+	if m.Cause != CauseMigration {
+		t.Fatalf("cause %v, want migration (%s)", m.Cause, m.Detail)
+	}
+}
+
+func TestAttributeMigrationOtherCellInert(t *testing.T) {
+	// A migration of a different cell leaves the attribution untouched.
+	events := append([]telemetry.Event{migrateEv(3, us(10))}, chainDAG(12, 0, 0)...)
+	_, m := analyzeOne(t, events)
+	if m.Cause != CauseQueueing {
+		t.Fatalf("cause %v, want queueing (%s)", m.Cause, m.Detail)
+	}
+}
+
+func TestAttributeMigrationOutsideWindowInert(t *testing.T) {
+	// Same cell, but the migration is further back than MigrationWindow.
+	events := append([]telemetry.Event{migrateEv(2, us(10))},
+		chainDAG(13, 20*sim.Millisecond, 20*sim.Millisecond)...)
+	a := Analyze(events, Options{
+		PoolCores: 2, Deadline: us(40), MigrationWindow: 5 * sim.Millisecond,
+	})
+	if !a.PartitionHolds() || len(a.Misses) != 1 {
+		t.Fatalf("partition %v misses %d", a.CauseCounts, len(a.Misses))
+	}
+	if m := a.Misses[0]; m.Cause != CauseQueueing {
+		t.Fatalf("cause %v, want queueing (%s)", m.Cause, m.Detail)
+	}
+}
+
+func TestAttributeMigrationBeatsTimelineLoss(t *testing.T) {
+	// Merged fleet traces carry no task-level events, so the timeline is
+	// missing — the migration rule must still fire, ahead of unattributed.
+	miss := ev(telemetry.EvDeadlineMiss, us(500))
+	miss.Cell, miss.Dur, miss.A = 7, us(90), 14
+	_, m := analyzeOne(t, []telemetry.Event{migrateEv(7, us(450)), miss})
+	if m.Cause != CauseMigration {
+		t.Fatalf("cause %v, want migration (%s)", m.Cause, m.Detail)
+	}
+}
+
 func TestAttributionPriorityOrder(t *testing.T) {
 	// A DAG hit by an injected accelerator fault AND a yield storm AND an
 	// underprediction must land in the highest-priority bucket (accel_fault),

@@ -21,6 +21,9 @@ type attributionContext struct {
 	// owned is the (time, RAN-owned cores) step series from core
 	// acquire/yield events, in time order.
 	owned []ownedPoint
+	// migrations maps global cell ID -> sorted times the fleet placement
+	// engine migrated the cell (EvCellMigrate).
+	migrations map[int32][]sim.Time
 }
 
 type ownedPoint struct {
@@ -29,9 +32,15 @@ type ownedPoint struct {
 }
 
 func newAttributionContext(events []telemetry.Event, opts Options) *attributionContext {
-	ctx := &attributionContext{opts: opts, accelFault: map[int64]bool{}}
+	ctx := &attributionContext{
+		opts:       opts,
+		accelFault: map[int64]bool{},
+		migrations: map[int32][]sim.Time{},
+	}
 	for _, ev := range events {
 		switch ev.Kind {
+		case telemetry.EvCellMigrate:
+			ctx.migrations[ev.Cell] = append(ctx.migrations[ev.Cell], ev.At)
 		case telemetry.EvFaultInject:
 			if ev.A == classLaneFailure || ev.A == classStuckOffload {
 				ctx.accelFault[ev.B] = true
@@ -45,7 +54,17 @@ func newAttributionContext(events []telemetry.Event, opts Options) *attributionC
 		}
 	}
 	sort.Slice(ctx.stormYields, func(i, j int) bool { return ctx.stormYields[i] < ctx.stormYields[j] })
+	for _, ts := range ctx.migrations {
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	}
 	return ctx
+}
+
+// migratedIn reports whether cell migrated inside [from, to].
+func (ctx *attributionContext) migratedIn(cell int32, from, to sim.Time) bool {
+	ts := ctx.migrations[cell]
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] >= from })
+	return i < len(ts) && ts[i] <= to
 }
 
 // stormIn reports whether any storm yield fired inside [from, to].
@@ -76,6 +95,24 @@ func (ctx *attributionContext) minOwnedIn(from, to sim.Time) int64 {
 // order and the last rule always matches, so every miss receives exactly one
 // cause — the partition invariant is by construction, not by bookkeeping.
 func (ctx *attributionContext) attribute(tl *Timeline, m Miss) (Cause, string) {
+	// Rule -1: fleet migration in flight. A coordination-level rule, checked
+	// before the timeline rules: EvCellMigrate is emitted by the fleet
+	// placement engine, so it is trustworthy even when the merged fleet
+	// trace carries no task-level events for this DAG. A miss on a cell that
+	// just changed servers is ramp-up disturbance, not a steady-state
+	// scheduling failure.
+	if len(ctx.migrations) > 0 {
+		from := m.At - ctx.opts.MigrationWindow
+		if from < 0 {
+			from = 0
+		}
+		if ctx.migratedIn(m.Cell, from, m.At) {
+			return CauseMigration, fmt.Sprintf(
+				"cell %d migrated between servers within %.1fms of the miss",
+				m.Cell, ctx.opts.MigrationWindow.Ms())
+		}
+	}
+
 	// Rule 0: ring wraparound ate the DAG's admission (or the whole DAG);
 	// nothing below can be trusted.
 	if tl == nil || tl.Truncated || len(tl.Tasks) == 0 {

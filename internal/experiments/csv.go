@@ -179,6 +179,8 @@ func RunCSV(name string, o Options, w io.Writer) error {
 		res, err = RunChaos(o, "sweep")
 	case "predcal":
 		res, err = RunPredCal(o)
+	case "fleet":
+		res, err = RunFleet(o)
 	default:
 		return fmt.Errorf("experiments: %q has no CSV form", name)
 	}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"concordia/internal/core"
+	"concordia/internal/costmodel"
+	"concordia/internal/fleet"
+	"concordia/internal/ran"
+	"concordia/internal/rng"
+	"concordia/internal/sim"
+	"concordia/internal/traffic"
+)
+
+// fleetCoresPerServer is the pool size of every simulated fleet server.
+const fleetCoresPerServer = 12
+
+// fleetGrid is the cells×servers sweep: from the 40-cell example scale to a
+// 200-cell metro fleet — well past the paper's 3-cell LTE captures (the
+// traffic layer volume-scales those statistics ≥10× underneath).
+var fleetGrid = []struct{ Cells, Servers int }{
+	{40, 4},
+	{100, 8},
+	{200, 12},
+}
+
+// fleetLoads is the per-cell load axis of the miss/pooling curves.
+var fleetLoads = []float64{0.2, 0.5, 0.8}
+
+// FleetPoint is one (cells, servers, load, mode) measurement.
+type FleetPoint struct {
+	Cells, Servers int
+	Load           float64
+	// Mode is "pooled" (migrating placement) or "static" (partition frozen
+	// at admission — the baseline).
+	Mode string
+
+	DAGs       uint64
+	MissPct    float64
+	Migrations int
+	Rejected   int
+
+	// RequiredCores is the time-averaged fleet core requirement; IdealCores
+	// the single-global-pool bound; TotalCores the provisioned fleet size.
+	// Both modes of a pair are evaluated at the static baseline's calibrated
+	// kappa, so the difference isolates placement (the static run drops more
+	// late DAGs, does less work, and would otherwise self-calibrate a
+	// flatteringly lower kappa).
+	RequiredCores float64
+	IdealCores    float64
+	TotalCores    int
+	// CoresSaved is the pooling gain at equal reliability: the extra cores
+	// the static partition must provision fleet-wide before its deadline-miss
+	// rate drops to the pooled fleet's (0 on static rows by construction, and
+	// 0 wherever static already matches pooled). Measured by capacity search:
+	// re-running the static partition with progressively larger servers.
+	CoresSaved float64
+}
+
+// FleetResult is the fleet pooling experiment outcome.
+type FleetResult struct {
+	Rows []FleetPoint
+	// TotalUEs is the modeled fleet-wide subscriber population of the
+	// largest grid point.
+	TotalUEs int64
+}
+
+// RunFleet sweeps fleet sizes and loads, running each configuration twice —
+// migrating placement vs static partition — over identical traffic, traces
+// and topology (same substream seed per pair), and reports deadline-miss
+// curves and the pooling gain in cores. Servers fan out across o.Workers
+// inside each fleet run; the sweep itself is serial, so rendered output is
+// byte-identical for every worker count.
+func RunFleet(o Options) (*FleetResult, error) {
+	// One predictor set serves every run: all fleet servers host identical
+	// 20 MHz cells, and training is the dominant fixed cost.
+	model := costmodel.New(o.Seed ^ 0xc0de)
+	data := core.Profile(ran.Cells20MHz(1), o.training(), model, fleetCoresPerServer, o.Seed^0x0ff1)
+	preds, err := core.TrainPredictorsWorkers(data, 1.0, o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &FleetResult{}
+	horizon := o.dur(2 * sim.Second)
+	for gi, g := range fleetGrid {
+		for li, load := range fleetLoads {
+			cfg := fleet.Config{
+				Cells: g.Cells, Servers: g.Servers, CoresPerServer: fleetCoresPerServer,
+				Load: load, Horizon: horizon, Epochs: 8,
+				Seed:       rng.SubstreamSeed(o.Seed, uint64(gi*len(fleetLoads)+li)),
+				Workers:    o.Workers,
+				Predictors: preds,
+			}
+			staticCfg := cfg
+			staticCfg.Static = true
+			static, err := fleet.Run(staticCfg)
+			if err != nil {
+				return nil, err
+			}
+			pooled, err := fleet.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			saved, err := fleetCoresSaved(staticCfg, static, pooled)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows,
+				fleetPoint(load, "static", static, static.Kappa, 0),
+				fleetPoint(load, "pooled", pooled, static.Kappa, saved))
+		}
+	}
+	last := fleetGrid[len(fleetGrid)-1]
+	res.TotalUEs = (traffic.ScaleSpec{Cells: last.Cells}).TotalUEs()
+	return res, nil
+}
+
+// fleetCoresSaved measures the pooling gain at equal reliability: when the
+// static partition misses more deadlines than the pooled fleet, grow its
+// servers one core at a time (identical traffic, topology, and seed) until
+// it matches, and charge the growth fleet-wide. The search is capped at
+// double-size servers; hitting the cap reports the cap as a lower bound.
+func fleetCoresSaved(staticCfg fleet.Config, static, pooled *fleet.Result) (float64, error) {
+	if static.MissRate() <= pooled.MissRate() {
+		return 0, nil
+	}
+	base := static.CoresPerServer
+	for c := base + 1; c <= 2*base; c++ {
+		probeCfg := staticCfg
+		probeCfg.CoresPerServer = c
+		probe, err := fleet.Run(probeCfg)
+		if err != nil {
+			return 0, err
+		}
+		if probe.MissRate() <= pooled.MissRate() {
+			return float64((c - base) * static.Servers), nil
+		}
+	}
+	return float64(base * static.Servers), nil
+}
+
+func fleetPoint(load float64, mode string, r *fleet.Result, kappa, saved float64) FleetPoint {
+	return FleetPoint{
+		Cells: r.Cells, Servers: r.Servers, Load: load, Mode: mode,
+		DAGs: r.DAGs, MissPct: 100 * r.MissRate(),
+		Migrations: r.Migrations, Rejected: r.Rejected,
+		RequiredCores: kappa * r.RequiredDemand, IdealCores: kappa * r.IdealDemand,
+		TotalCores: r.TotalCores, CoresSaved: saved,
+	}
+}
+
+// String renders the sweep table.
+func (r *FleetResult) String() string {
+	var sb strings.Builder
+	header(&sb, "Fleet pooling: cells x servers sweep, migrating placement vs static partition")
+	fmt.Fprintf(&sb, "modeled subscribers at largest point: %d\n\n", r.TotalUEs)
+	sb.WriteString("cells  servers  load  mode    dags      miss%     req-cores  ideal  saved  migr  rej\n")
+	for _, p := range r.Rows {
+		fmt.Fprintf(&sb, "%-6d %-8d %-5.2f %-7s %-9d %-9.5f %-10.1f %-6.1f %-6.1f %-5d %d\n",
+			p.Cells, p.Servers, p.Load, p.Mode, p.DAGs, p.MissPct,
+			p.RequiredCores, p.IdealCores, p.CoresSaved, p.Migrations, p.Rejected)
+	}
+	return sb.String()
+}
+
+// CSV implements Tabular for the fleet sweep.
+func (r *FleetResult) CSV() ([]string, [][]string) {
+	header := []string{
+		"cells", "servers", "load", "mode", "dags", "miss_pct",
+		"required_cores", "ideal_cores", "total_cores", "cores_saved",
+		"migrations", "rejected",
+	}
+	var rows [][]string
+	for _, p := range r.Rows {
+		rows = append(rows, []string{
+			d(p.Cells), d(p.Servers), f(p.Load), p.Mode,
+			fmt.Sprintf("%d", p.DAGs), f(p.MissPct),
+			f(p.RequiredCores), f(p.IdealCores), d(p.TotalCores), f(p.CoresSaved),
+			d(p.Migrations), d(p.Rejected),
+		})
+	}
+	return header, rows
+}

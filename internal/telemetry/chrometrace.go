@@ -168,6 +168,9 @@ var chromeDispositions = [numEventKinds]traceDisposition{
 	EvFaultInject:   dispRendered,
 	EvFaultRecover:  dispRendered,
 	EvPredictSample: dispSuppressed, // analysis-level; consumed by internal/analysis
+	EvCellAdmit:     dispRendered,
+	EvCellMigrate:   dispRendered,
+	EvCellReject:    dispRendered,
 }
 
 // convertEvent maps one telemetry event to zero or more trace events.
@@ -249,6 +252,24 @@ func convertEvent(ev Event) []traceEvent {
 			Name: "rotate", Cat: "core", Ph: "i",
 			Ts: us(ev.At), Pid: pidPool, Tid: int(ev.Core) + 1, Scope: "t",
 			Args: map[string]any{"to": ev.A},
+		}}
+	case EvCellAdmit:
+		return []traceEvent{{
+			Name: "cell_admit", Cat: "fleet", Ph: "i",
+			Ts: us(ev.At), Pid: pidPool, Tid: tidSched, Scope: "p",
+			Args: map[string]any{"cell": ev.Cell, "server": ev.A, "feasible": ev.B},
+		}}
+	case EvCellMigrate:
+		return []traceEvent{{
+			Name: "cell_migrate", Cat: "fleet", Ph: "i",
+			Ts: us(ev.At), Pid: pidPool, Tid: tidSched, Scope: "p",
+			Args: map[string]any{"cell": ev.Cell, "from": ev.A, "to": ev.B, "fronthaul_us": ev.Dur.Us()},
+		}}
+	case EvCellReject:
+		return []traceEvent{{
+			Name: "cell_reject", Cat: "fleet", Ph: "i",
+			Ts: us(ev.At), Pid: pidPool, Tid: tidSched, Scope: "p",
+			Args: map[string]any{"cell": ev.Cell, "feasible": ev.B},
 		}}
 	default:
 		// Enqueue/dispatch are metrics-level events; they would double the

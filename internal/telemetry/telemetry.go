@@ -93,6 +93,21 @@ const (
 	// sample back to its timeline. Cell, Slot, Task=kind, Dur=observed
 	// runtime, A=predicted WCET (ns), B=dag sequence.
 	EvPredictSample
+	// EvCellAdmit marks the fleet placement engine admitting a cell onto a
+	// server (initial placement or re-admission after a reject retry).
+	// Cell=global cell ID, Slot=fleet epoch, A=server, B=feasible-server
+	// count within the cell's fronthaul budget.
+	EvCellAdmit
+	// EvCellMigrate marks the fleet placement engine moving a cell between
+	// servers at an epoch boundary (load/miss pressure crossed the
+	// hysteresis thresholds, or a forced demo migration). Cell=global cell
+	// ID, Slot=fleet epoch, A=source server, B=destination server,
+	// Dur=fronthaul latency to the destination.
+	EvCellMigrate
+	// EvCellReject marks a cell the placement engine could not admit: no
+	// server lies within its fronthaul-latency budget. Cell=global cell ID,
+	// Slot=fleet epoch, A=-1, B=feasible-server count (0).
+	EvCellReject
 	numEventKinds
 )
 
@@ -105,7 +120,7 @@ var eventKindNames = [numEventKinds]string{
 	"offload_span", "dag_complete", "deadline_miss", "dag_drop",
 	"core_acquire", "core_awake", "core_yield", "core_rotate",
 	"sched_decision", "interference", "fault_inject", "fault_recover",
-	"predict_sample",
+	"predict_sample", "cell_admit", "cell_migrate", "cell_reject",
 }
 
 // String implements fmt.Stringer.

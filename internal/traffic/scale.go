@@ -1,0 +1,106 @@
+package traffic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ScaleSpec scales the measured 3-cell LTE reference statistics (§2.2) to
+// fleet-sized deployments: hundreds of cells serving a modeled subscriber
+// population in the millions. The paper itself built its 5G evaluation
+// traces by volume-scaling the captured LTE fluctuation patterns >10×; this
+// layer applies the same extrapolation while keeping the busy/quiet hotspot
+// structure pooling exploits, so a 200-cell fleet trace has the same
+// statistical character per cell as the Fig 3 captures — just more of them,
+// carrying more bytes.
+type ScaleSpec struct {
+	// Cells is the fleet-wide cell count (the LTE reference measured 3).
+	Cells int
+	// SubscribersPerCell is the modeled UE population attached per cell —
+	// accounting for the "millions of users" scale target, and the knob the
+	// volume extrapolation is derived from. 0 selects DefaultSubscribers.
+	SubscribersPerCell int
+	// VolumeScale multiplies the LTE reference per-slot payload ceiling
+	// (5 KB): the 5G extrapolation factor. 0 selects DefaultVolumeScale
+	// (10×, the paper's own scaling floor).
+	VolumeScale float64
+	// Load is the per-cell traffic load fraction (0.05–1.0); 0 selects the
+	// LTE reference's lightly loaded 0.1.
+	Load float64
+	// DiurnalPeriod, when positive, adds the long-term sinusoidal load
+	// fluctuation (in TTIs) that fleet-scale pooling classically exploits.
+	DiurnalPeriod int
+	Seed          uint64
+}
+
+// Scaling defaults.
+const (
+	// DefaultSubscribers models a metro macro cell's attached-UE population.
+	DefaultSubscribers = 10000
+	// DefaultVolumeScale is the paper's ">10×" LTE→5G volume extrapolation.
+	DefaultVolumeScale = 10.0
+	// lteReferencePeakBytes is the Fig 3 per-slot payload ceiling (~5 KB).
+	lteReferencePeakBytes = 5 * 1024
+)
+
+func (s ScaleSpec) withDefaults() ScaleSpec {
+	if s.SubscribersPerCell == 0 {
+		s.SubscribersPerCell = DefaultSubscribers
+	}
+	if s.VolumeScale == 0 {
+		s.VolumeScale = DefaultVolumeScale
+	}
+	if s.Load == 0 {
+		s.Load = 0.1
+	}
+	return s
+}
+
+// Validate reports specification errors.
+func (s ScaleSpec) Validate() error {
+	s = s.withDefaults()
+	if s.Cells <= 0 {
+		return errors.New("traffic: scale spec needs at least one cell")
+	}
+	if s.SubscribersPerCell < 0 {
+		return errors.New("traffic: negative subscribers per cell")
+	}
+	if s.VolumeScale < 1 {
+		return fmt.Errorf("traffic: volume scale %.2f shrinks the reference; want >= 1", s.VolumeScale)
+	}
+	if s.Load <= 0 || s.Load > 1 {
+		return errors.New("traffic: load must be in (0, 1]")
+	}
+	return nil
+}
+
+// TotalUEs returns the modeled fleet-wide subscriber population.
+func (s ScaleSpec) TotalUEs() int64 {
+	s = s.withDefaults()
+	return int64(s.Cells) * int64(s.SubscribersPerCell)
+}
+
+// Config derives the generator configuration: the LTE reference statistics
+// volume-scaled per the spec, one cell stream per fleet cell.
+func (s ScaleSpec) Config() (Config, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Cells:         s.Cells,
+		Load:          s.Load,
+		PeakSlotBytes: int(float64(lteReferencePeakBytes) * s.VolumeScale),
+		Seed:          s.Seed,
+		DiurnalPeriod: s.DiurnalPeriod,
+	}, nil
+}
+
+// GenerateScaledTrace materializes a fleet-scale trace of `slots` TTIs.
+func GenerateScaledTrace(s ScaleSpec, slots int) (*Trace, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, err
+	}
+	return GenerateTrace(cfg, slots)
+}

@@ -55,10 +55,37 @@ func TestSubmitParallelLanes(t *testing.T) {
 
 func TestEncodeCheaperThanDecode(t *testing.T) {
 	a := DefaultFPGA()
-	dec := a.Expected(ran.TaskLDPCDecode, 10)
-	enc := a.Expected(ran.TaskLDPCEncode, 10)
+	dec, err := a.Expected(ran.TaskLDPCDecode, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := a.Expected(ran.TaskLDPCEncode, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if enc >= dec {
 		t.Fatalf("encode %v should be cheaper than decode %v", enc, dec)
+	}
+}
+
+// Regression: the encode path computed PerCodeblock/2 * codeblocks, so an
+// odd per-codeblock rate truncated before multiplying and lost up to
+// codeblocks/2 time units vs the documented half rate.
+func TestEncodeOddRateNoTruncation(t *testing.T) {
+	a := New(1, sim.Time(7), sim.Time(1))
+	got, err := a.Expected(ran.TaskLDPCEncode, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Time(7 * 5 / 2); got != want { // 17, not 3*5=15
+		t.Fatalf("odd-rate encode = %v, want %v (multiply before divide)", got, want)
+	}
+	done, err := a.Submit(0, ran.TaskLDPCEncode, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != sim.Time(17) {
+		t.Fatalf("Submit completion %v, want 17", done)
 	}
 }
 
@@ -84,7 +111,11 @@ func TestUtilization(t *testing.T) {
 
 func TestZeroCodeblocksClamped(t *testing.T) {
 	a := DefaultFPGA()
-	if v := a.Expected(ran.TaskLDPCDecode, 0); v <= 0 {
+	v, err := a.Expected(ran.TaskLDPCDecode, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
 		t.Fatal("zero codeblocks should clamp to one")
 	}
 }
@@ -134,10 +165,38 @@ func TestSubmitStructLiteralLazyLanes(t *testing.T) {
 	}
 }
 
-// Expected mirrors Submit's validity checks: an unusable device predicts 0.
+// Expected mirrors Submit's validity checks and must surface them: the old
+// signature swallowed ErrInvalidRate/ErrNotOffloadable and returned a bare
+// 0, which a WCET predictor reads as "offload is free".
 func TestExpectedInvalidRate(t *testing.T) {
 	a := &Accelerator{Lanes: 2, PerCodeblock: 0}
-	if got := a.Expected(ran.TaskLDPCDecode, 4); got != 0 {
-		t.Fatalf("Expected on invalid device = %v, want 0", got)
+	if _, err := a.Expected(ran.TaskLDPCDecode, 4); err != ErrInvalidRate {
+		t.Fatalf("Expected on invalid device: err = %v, want ErrInvalidRate", err)
+	}
+	b := DefaultFPGA()
+	if _, err := b.Expected(ran.TaskModulation, 4); err != ErrNotOffloadable {
+		t.Fatalf("Expected on wrong kind: err = %v, want ErrNotOffloadable", err)
+	}
+}
+
+// Regression: Submit only sized the lane table when it was empty, so raising
+// Lanes after construction kept scanning the stale shorter table while
+// Utilization divided by the new Lanes — silently under-using engines.
+func TestLanesRaisedAfterConstruction(t *testing.T) {
+	a := New(1, sim.FromUs(10), sim.FromUs(1))
+	d1, _ := a.Submit(0, ran.TaskLDPCDecode, 1)
+	if d1 != sim.FromUs(10) {
+		t.Fatalf("first completion %v want 10us", d1)
+	}
+	a.Lanes = 2
+	// The new engine is idle, so the second request must run in parallel,
+	// and the in-flight schedule of engine 0 must be preserved.
+	d2, _ := a.Submit(0, ran.TaskLDPCDecode, 1)
+	if d2 != sim.FromUs(10) {
+		t.Fatalf("after raising Lanes, second completion %v want 10us (fresh engine)", d2)
+	}
+	d3, _ := a.Submit(0, ran.TaskLDPCDecode, 1)
+	if d3 != sim.FromUs(20) {
+		t.Fatalf("third completion %v want 20us (both engines busy until 10us)", d3)
 	}
 }

@@ -82,8 +82,9 @@ const (
 	// CauseFronthaulLate: admission was delayed past the nominal release
 	// and the DAG would have met its deadline without that delay.
 	CauseFronthaulLate
-	// CauseAccelFault: an injected lane failure or stuck offload hit this
-	// DAG, or its critical path lost time to offload retry stalls.
+	// CauseAccelFault: an injected lane failure, stuck offload, or device
+	// reset hit this DAG, or its critical path lost time to offload retry
+	// stalls.
 	CauseAccelFault
 	// CauseYieldStorm: a core-yield storm forced cores away while this DAG
 	// was in flight.
@@ -275,4 +276,5 @@ const (
 	classStuckOffload = int64(faults.StuckOffload)
 	classYieldStorm   = int64(faults.YieldStorm)
 	classFronthaul    = int64(faults.FronthaulLate)
+	classDeviceReset  = int64(faults.DeviceReset)
 )

@@ -183,6 +183,28 @@ func TestAttributeAccelFaultInjected(t *testing.T) {
 	}
 }
 
+func TestAttributeDeviceResetInjected(t *testing.T) {
+	events := chainDAG(3, 0, 0)
+	inj := ev(telemetry.EvFaultInject, us(5))
+	inj.A, inj.B = classDeviceReset, 3
+	events = append(events, inj)
+	_, m := analyzeOne(t, events)
+	if m.Cause != CauseAccelFault {
+		t.Fatalf("cause %v, want accel_fault (%s)", m.Cause, m.Detail)
+	}
+	// A device-level record with no DAG attached (B=-1) must not poison the
+	// sentinel -1 key: the same trace minus the per-task record attributes
+	// elsewhere.
+	events = chainDAG(3, 0, 0)
+	dev := ev(telemetry.EvFaultInject, us(5))
+	dev.A, dev.B = classDeviceReset, -1
+	events = append(events, dev)
+	_, m = analyzeOne(t, events)
+	if m.Cause == CauseAccelFault {
+		t.Fatalf("device-scoped inject (B=-1) must not attribute a DAG miss")
+	}
+}
+
 func TestAttributeAccelFaultStall(t *testing.T) {
 	// Two dispatch attempts with a dead gap between them: ready at 0, first
 	// attempt at 10, retry at 40, completion at 60 — 30 µs of stall.

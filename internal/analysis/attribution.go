@@ -14,7 +14,8 @@ import (
 type attributionContext struct {
 	opts Options
 
-	// accelFault maps DAG sequence -> injected lane-failure/stuck-offload.
+	// accelFault maps DAG sequence -> injected lane-failure, stuck-offload,
+	// or device-reset fallback.
 	accelFault map[int64]bool
 	// stormYields is the sorted list of storm-yield recovery times.
 	stormYields []sim.Time
@@ -42,7 +43,8 @@ func newAttributionContext(events []telemetry.Event, opts Options) *attributionC
 		case telemetry.EvCellMigrate:
 			ctx.migrations[ev.Cell] = append(ctx.migrations[ev.Cell], ev.At)
 		case telemetry.EvFaultInject:
-			if ev.A == classLaneFailure || ev.A == classStuckOffload {
+			if (ev.A == classLaneFailure || ev.A == classStuckOffload ||
+				ev.A == classDeviceReset) && ev.B >= 0 {
 				ctx.accelFault[ev.B] = true
 			}
 		case telemetry.EvFaultRecover:
@@ -127,11 +129,11 @@ func (ctx *attributionContext) attribute(tl *Timeline, m Miss) (Cause, string) {
 			tl.Fronthaul.Us(), (m.Latency - tl.Fronthaul).Us())
 	}
 
-	// Rule 2: accelerator stall or fault — an injected lane failure or stuck
-	// offload hit this DAG, or its critical path lost time between offload
-	// attempts (watchdog + backoff stalls).
+	// Rule 2: accelerator stall or fault — an injected lane failure, stuck
+	// offload, or device reset hit this DAG, or its critical path lost time
+	// between offload attempts (watchdog + backoff stalls).
 	if ctx.accelFault[m.Seq] {
-		return CauseAccelFault, "lane-failure/stuck-offload fault injected into this DAG"
+		return CauseAccelFault, "lane/stuck/device-reset fault injected into this DAG"
 	}
 	for _, node := range tl.Critical {
 		if s := tl.CriticalSpan(node); s != nil && s.Stall > 0 {

@@ -57,6 +57,17 @@ type Config struct {
 	Seed                 uint64
 	// UseAccel offloads LDPC processing to the modeled FPGA (§7).
 	UseAccel bool
+	// AccelDevices > 1 replaces the single default FPGA with a fleet of
+	// ACC100-like cards, each with two engines; AccelVFs partitions each card
+	// into SR-IOV virtual functions and AccelQueueDepth bounds each VF's
+	// per-queue-group admission (0 = unbounded). Ignored unless UseAccel.
+	AccelDevices    int
+	AccelVFs        int
+	AccelQueueDepth int
+	// OffloadBatch > 1 lets a submitting core coalesce up to that many
+	// same-kind ready offloadable tasks into one DMA transfer, amortizing
+	// the submit cost (the accelsweep experiment sweeps this knob).
+	OffloadBatch int
 	// IncludeMAC multiplexes the §7 MAC-layer scheduling extension on the
 	// same pool (one MAC DAG per cell per slot, one-slot deadline).
 	IncludeMAC bool
@@ -303,7 +314,18 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	var dev *accel.Accelerator
 	if cfg.UseAccel {
-		dev = accel.DefaultFPGA()
+		if cfg.AccelDevices > 1 || cfg.AccelVFs > 1 || cfg.AccelQueueDepth > 0 {
+			// Same per-engine calibration as DefaultFPGA, spread over a fleet
+			// of two-engine cards.
+			devices := cfg.AccelDevices
+			if devices < 1 {
+				devices = 1
+			}
+			dev = accel.NewFleet(devices, cfg.AccelVFs, 2, cfg.AccelQueueDepth,
+				sim.FromUs(18), sim.FromUs(2))
+		} else {
+			dev = accel.DefaultFPGA()
+		}
 	}
 	var wl *workloads.Schedule
 	if cfg.Workload != workloads.None {
@@ -364,6 +386,7 @@ func NewSystem(cfg Config) (*System, error) {
 		RotatePeriod:      sim.FromMs(2),
 		ReleaseHysteresis: hysteresis,
 		Accel:             dev,
+		OffloadBatch:      cfg.OffloadBatch,
 		IncludeMAC:        cfg.IncludeMAC,
 		StaticPartition:   cfg.Scheduler == SchedFlexRAN,
 		Telemetry:         cfg.Telemetry,

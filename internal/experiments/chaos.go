@@ -43,6 +43,7 @@ var chaosLevels = []struct {
 	{"storm", [3]string{"storm=1", "storm=5", "storm=20"}},
 	{"late", [3]string{"late=0.02", "late=0.1", "late=0.3"}},
 	{"drop", [3]string{"drop=0.02", "drop=0.1", "drop=0.3"}},
+	{"reset", [3]string{"reset=5", "reset=20", "reset=60"}},
 }
 
 var chaosLevelNames = [3]string{"low", "med", "high"}
@@ -53,6 +54,11 @@ var chaosLevelNames = [3]string{"low", "med", "high"}
 func chaosConfig(o Options) core.Config {
 	cfg := core.Scenario20MHz(4, 6)
 	cfg.UseAccel = true
+	// Fleet shape so device-level reset faults have devices to fail over
+	// between: two two-engine cards, two VFs each, bounded queue depth.
+	cfg.AccelDevices = 2
+	cfg.AccelVFs = 2
+	cfg.AccelQueueDepth = 16
 	cfg.DropLateDAGs = true
 	cfg.Seed = o.Seed
 	cfg.TrainingSlots = o.training()

@@ -181,6 +181,8 @@ func RunCSV(name string, o Options, w io.Writer) error {
 		res, err = RunPredCal(o)
 	case "fleet":
 		res, err = RunFleet(o)
+	case "accelsweep":
+		res, err = RunAccelSweep(o)
 	default:
 		return fmt.Errorf("experiments: %q has no CSV form", name)
 	}

@@ -456,8 +456,8 @@ func TestChaos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Rows) != 1+7*3 {
-		t.Fatalf("sweep rows %d, want baseline + 7 classes x 3 levels", len(r.Rows))
+	if len(r.Rows) != 1+8*3 {
+		t.Fatalf("sweep rows %d, want baseline + 8 classes x 3 levels", len(r.Rows))
 	}
 	if r.Rows[0].Class != "none" || r.Rows[0].Injected != 0 {
 		t.Fatalf("baseline row corrupted: %+v", r.Rows[0])

@@ -14,7 +14,7 @@ var Names = []string{
 	"fig3", "pooling", "fig4a", "fig4b", "fig6", "fig7", "fig8a", "fig8b",
 	"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b",
 	"table3", "table4", "fig17", "ablation", "extension", "calibration",
-	"chaos", "predcal", "fleet",
+	"chaos", "predcal", "fleet", "accelsweep",
 }
 
 // Run executes one named experiment and writes its rendered result.
@@ -72,6 +72,8 @@ func Run(name string, o Options, w io.Writer) error {
 		res, err = RunPredCal(o)
 	case "fleet":
 		res, err = RunFleet(o)
+	case "accelsweep":
+		res, err = RunAccelSweep(o)
 	default:
 		return fmt.Errorf("experiments: unknown experiment %q", name)
 	}

@@ -42,12 +42,13 @@ const (
 	YieldStorm
 	FronthaulLate
 	FronthaulDrop
+	DeviceReset
 	numClasses
 )
 
 var classNames = [numClasses]string{
 	"lane_failure", "stuck_offload", "task_overrun", "interference_burst",
-	"yield_storm", "fronthaul_late", "fronthaul_drop",
+	"yield_storm", "fronthaul_late", "fronthaul_drop", "device_reset",
 }
 
 // String implements fmt.Stringer.
@@ -100,13 +101,21 @@ type Config struct {
 	FronthaulLate float64
 	LateDelay     sim.Time
 	FronthaulDrop float64
+	// DeviceResetPerSec is the expected per-device rate of whole-device
+	// resets (per simulated second): for DeviceResetDuration (default 3 ms)
+	// the device rejects every new offload submission while in-flight work
+	// drains, and the pool's reconciliation loop re-partitions VF queue
+	// depths across the surviving devices.
+	DeviceResetPerSec   float64
+	DeviceResetDuration sim.Time
 }
 
 // Enabled reports whether any fault class has a positive rate.
 func (c Config) Enabled() bool {
 	return c.LaneFailure > 0 || c.StuckOffload > 0 || c.Overrun > 0 ||
 		c.BurstPerSec > 0 || c.StormPerSec > 0 ||
-		c.FronthaulLate > 0 || c.FronthaulDrop > 0
+		c.FronthaulLate > 0 || c.FronthaulDrop > 0 ||
+		c.DeviceResetPerSec > 0
 }
 
 // withDefaults fills unset recovery-policy knobs.
@@ -137,6 +146,9 @@ func (c Config) withDefaults() Config {
 	if c.LateDelay <= 0 {
 		c.LateDelay = 300 * sim.Microsecond
 	}
+	if c.DeviceResetDuration <= 0 {
+		c.DeviceResetDuration = 3 * sim.Millisecond
+	}
 	return c
 }
 
@@ -144,7 +156,7 @@ func (c Config) withDefaults() Config {
 // key=value pairs, e.g. "lane=0.05,stuck=0.02,overrun=0.05,factor=6".
 // The preset "all" enables a moderate rate for every class. Keys:
 //
-//	lane, stuck, overrun, burst, storm, late, drop   — per-class rates
+//	lane, stuck, overrun, burst, storm, late, drop, reset — per-class rates
 //	factor       — overrun runtime multiplier
 //	retries      — offload retries before CPU fallback
 //	timeout-us   — stuck-offload watchdog (µs)
@@ -153,6 +165,7 @@ func (c Config) withDefaults() Config {
 //	intensity    — burst cache-pressure index (0..1]
 //	storm-cores  — cores stolen per storm
 //	late-us      — fronthaul late-arrival delay (µs)
+//	reset-ms     — device-reset outage duration (ms)
 func Parse(spec string) (Config, error) {
 	var c Config
 	spec = strings.TrimSpace(spec)
@@ -164,6 +177,7 @@ func Parse(spec string) (Config, error) {
 			LaneFailure: 0.02, StuckOffload: 0.01, Overrun: 0.02,
 			BurstPerSec: 5, StormPerSec: 2,
 			FronthaulLate: 0.01, FronthaulDrop: 0.005,
+			DeviceResetPerSec: 1,
 		}, nil
 	}
 	for _, kv := range strings.Split(spec, ",") {
@@ -215,6 +229,10 @@ func Parse(spec string) (Config, error) {
 			c.LateDelay = sim.FromUs(v)
 		case "drop":
 			c.FronthaulDrop = v
+		case "reset":
+			c.DeviceResetPerSec = v
+		case "reset-ms":
+			c.DeviceResetDuration = sim.FromMs(v)
 		default:
 			return c, fmt.Errorf("faults: unknown spec key %q", key)
 		}
@@ -247,6 +265,9 @@ func (c Config) String() string {
 	if c.FronthaulDrop > 0 {
 		parts["drop"] = c.FronthaulDrop
 	}
+	if c.DeviceResetPerSec > 0 {
+		parts["reset"] = c.DeviceResetPerSec
+	}
 	if len(parts) == 0 {
 		return "off"
 	}
@@ -272,12 +293,13 @@ type Stats struct {
 	Storms           uint64
 	FronthaulLate    uint64
 	FronthaulDropped uint64
+	DeviceResets     uint64
 }
 
 // Total sums all injected faults.
 func (s Stats) Total() uint64 {
 	return s.LaneFailures + s.StuckOffloads + s.Overruns + s.Bursts +
-		s.Storms + s.FronthaulLate + s.FronthaulDropped
+		s.Storms + s.FronthaulLate + s.FronthaulDropped + s.DeviceResets
 }
 
 // Injector makes the per-event fault decisions for one simulation run. All
@@ -291,7 +313,11 @@ type Injector struct {
 	class [numClasses]uint64 // per-class substream seeds
 	burst windowGen
 	storm windowGen
-	stats Stats
+	// devWins lazily materializes one reset-window generator per device,
+	// seeded by (DeviceReset class seed, device ID) so every device draws an
+	// independent schedule regardless of query order.
+	devWins []windowGen
+	stats   Stats
 }
 
 // NewInjector builds an injector for one run. Returns nil when the config
@@ -305,8 +331,11 @@ func NewInjector(cfg Config, seed uint64) *Injector {
 	for c := Class(0); c < numClasses; c++ {
 		in.class[c] = rng.SubstreamSeed(seed, uint64(c))
 	}
-	in.burst = newWindowGen(rng.Substream(seed, uint64(numClasses)), cfg.BurstPerSec, cfg.BurstDuration)
-	in.storm = newWindowGen(rng.Substream(seed, uint64(numClasses)+1), cfg.StormPerSec, cfg.StormDuration)
+	// Window substreams are pinned to the literal indices they had when the
+	// taxonomy was 7 classes wide, so adding a fault class never shifts the
+	// burst/storm schedules of existing seeds.
+	in.burst = newWindowGen(rng.Substream(seed, 7), cfg.BurstPerSec, cfg.BurstDuration)
+	in.storm = newWindowGen(rng.Substream(seed, 8), cfg.StormPerSec, cfg.StormDuration)
 	return in
 }
 
@@ -418,6 +447,25 @@ func (in *Injector) StolenCores(now sim.Time, poolCores int) int {
 		stolen = poolCores
 	}
 	return stolen
+}
+
+// DeviceDown reports whether accelerator device dev is inside an injected
+// reset window at now. Each device draws its own window schedule from a
+// dedicated substream, so schedules are independent across devices and of
+// query order; now must be non-decreasing per device. The stats counter
+// increments once per window entered (one reset event, however often the
+// reconciliation loop polls it).
+func (in *Injector) DeviceDown(dev int, now sim.Time) bool {
+	if in == nil || in.cfg.DeviceResetPerSec <= 0 || dev < 0 {
+		return false
+	}
+	for len(in.devWins) <= dev {
+		i := len(in.devWins)
+		in.devWins = append(in.devWins, newWindowGen(
+			rng.Substream(in.class[DeviceReset], uint64(i)),
+			in.cfg.DeviceResetPerSec, in.cfg.DeviceResetDuration))
+	}
+	return in.devWins[dev].activeAt(now, &in.stats.DeviceResets)
 }
 
 // StuckTimeout returns the watchdog delay for stuck offloads.

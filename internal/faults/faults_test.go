@@ -61,6 +61,9 @@ func TestNilInjectorIsInert(t *testing.T) {
 	if in.BurstInterference(sim.Second) != 0 || in.StolenCores(sim.Second, 8) != 0 {
 		t.Fatal("nil injector injected a window fault")
 	}
+	if in.DeviceDown(0, sim.Second) {
+		t.Fatal("nil injector injected a device reset")
+	}
 	if in.Stats().Total() != 0 {
 		t.Fatal("nil injector counted faults")
 	}
@@ -184,5 +187,62 @@ func TestConfigStringCanonical(t *testing.T) {
 	}
 	if (Config{}).String() != "off" {
 		t.Fatal("zero config must render as off")
+	}
+}
+
+// Device-reset windows must be per-device independent, deterministic, and
+// identical regardless of which device is queried first.
+func TestDeviceResetWindows(t *testing.T) {
+	cfg := Config{DeviceResetPerSec: 200, DeviceResetDuration: 2 * sim.Millisecond}
+	a := NewInjector(cfg, 9)
+	b := NewInjector(cfg, 9)
+
+	const steps = 4000
+	const tick = 250 * sim.Microsecond
+	var downA0, downA1 []bool
+	for i := 0; i < steps; i++ {
+		now := sim.Time(i) * tick
+		// a queries device 0 then 1; b queries 1 then 0.
+		d0 := a.DeviceDown(0, now)
+		d1 := a.DeviceDown(1, now)
+		e1 := b.DeviceDown(1, now)
+		e0 := b.DeviceDown(0, now)
+		if d0 != e0 || d1 != e1 {
+			t.Fatalf("step %d: query order changed the schedule", i)
+		}
+		downA0 = append(downA0, d0)
+		downA1 = append(downA1, d1)
+	}
+	if a.Stats().DeviceResets == 0 {
+		t.Fatal("no resets observed at rate 200/s over 1s")
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	same := true
+	for i := range downA0 {
+		if downA0[i] != downA1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("devices 0 and 1 drew identical reset schedules")
+	}
+}
+
+func TestParseDeviceReset(t *testing.T) {
+	c, err := Parse("reset=5,reset-ms=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DeviceResetPerSec != 5 || c.DeviceResetDuration != sim.FromMs(1.5) {
+		t.Fatalf("parsed %+v", c)
+	}
+	if !c.Enabled() {
+		t.Fatal("reset-only config must enable faults")
+	}
+	if got := c.String(); got != "reset=5" {
+		t.Fatalf("canonical spec = %q", got)
 	}
 }

@@ -30,10 +30,10 @@ type Topology struct {
 // keeps every cell in range of its nearest servers while distant servers
 // fall outside typical eCPRI budgets.
 const (
-	areaKm            = 30.0
-	fronthaulBaseUs   = 25.0
-	fronthaulPerKmUs  = 5.0
-	serverGridJitter  = 0.2 // fraction of grid spacing
+	areaKm           = 30.0
+	fronthaulBaseUs  = 25.0
+	fronthaulPerKmUs = 5.0
+	serverGridJitter = 0.2 // fraction of grid spacing
 	// DefaultFronthaulBudget is the eCPRI-class one-way latency budget.
 	DefaultFronthaulBudget = 150 * sim.Microsecond
 )

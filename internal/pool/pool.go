@@ -102,6 +102,13 @@ type Config struct {
 	// (§7): the CPU pays only a submit cost; the DAG resumes when the
 	// device completes.
 	Accel *accel.Accelerator
+	// OffloadBatch, when > 1, coalesces up to that many ready offloadable
+	// tasks of the same kind into one DMA transfer: the submitting core pays
+	// SubmitCost once and the followers skip it entirely. Followers are
+	// taken in EDF order and admitted only while the no-queueing device
+	// estimate still meets their deadline. 0 or 1 submits per task (the
+	// legacy behaviour).
+	OffloadBatch int
 	// IncludeMAC releases the §7 MAC-layer extension DAG every slot per
 	// cell, with a one-slot deadline (the grant must be ready for the next
 	// TTI), multiplexed on the same pool.
@@ -193,7 +200,7 @@ type task struct {
 // event or core can ever observe a reused slab. Explicit freelists, not
 // sync.Pool: recycling order must be deterministic at any -workers.
 type dagRun struct {
-	id         int32  // index into Pool.runTable, stable for the pool's life
+	id         int32 // index into Pool.runTable, stable for the pool's life
 	dag        *ran.DAG
 	tasks      []task // one backing slab; pointers into it stay valid per run
 	unfinished int
@@ -369,6 +376,16 @@ type Pool struct {
 	// at least one positive rate, so fault-free runs pay one nil check.
 	flt *faults.Injector
 
+	// devDown mirrors the injected reset state per accelerator device; the
+	// reconciliation ticker detects transitions against it.
+	devDown []bool
+
+	// Offload-batching scratch, reused across submissions. batchTasks is
+	// cleared after every batch so it never retains freelist-owned tasks.
+	batchTasks []*task
+	batchCbs   []int
+	batchDones []sim.Time
+
 	// Typed event kinds (DESIGN.md §5f): the common pool callbacks carry a
 	// core index or a (run ID, task ID) pair instead of a closure, so the
 	// steady-state event path allocates nothing.
@@ -485,6 +502,13 @@ func (p *Pool) Run(duration sim.Time) *Report {
 		}
 		sim.NewTicker(p.eng, 0, period, p.onSample)
 	}
+	if p.flt != nil && p.cfg.Accel != nil && p.flt.Config().DeviceResetPerSec > 0 {
+		// Reconciliation loop: poll the per-device reset windows and
+		// re-partition VF queue depths on membership transitions. 100 µs is
+		// fine-grained against the millisecond-scale reset windows.
+		p.devDown = make([]bool, p.cfg.Accel.DeviceCount())
+		sim.NewTicker(p.eng, 0, 100*sim.Microsecond, p.onReconcile)
+	}
 	p.eng.Run(duration)
 	p.accountCoreTime(p.eng.Now())
 	if p.flt != nil {
@@ -497,6 +521,7 @@ func (p *Pool) Run(duration sim.Time) *Report {
 		f.Storms = s.Storms
 		f.FronthaulLate = s.FronthaulLate
 		f.FronthaulDropped = s.FronthaulDropped
+		f.DeviceResets = s.DeviceResets
 	}
 	p.report.finish(duration, p.cfg)
 	return p.report
@@ -738,7 +763,11 @@ func (p *Pool) releaseDAG(d *ran.DAG) {
 func (p *Pool) predictTask(n *ran.Task) sim.Time {
 	if p.cfg.Accel != nil && p.cfg.Accel.Offloads(n.Kind) {
 		cbs := int(n.Features.Get(ran.FCodeblocks))
-		return p.cfg.Accel.SubmitCost + p.cfg.Accel.Expected(n.Kind, cbs)
+		// A device that cannot produce an estimate (invalid rate) must not
+		// predict "free" — fall through to the predictor/cost-model paths.
+		if exp, err := p.cfg.Accel.Expected(n.Kind, cbs); err == nil {
+			return p.cfg.Accel.SubmitCost + exp
+		}
 	}
 	if p.cfg.Predict != nil {
 		if v := p.cfg.Predict.Predict(n.Kind, n.Features); v > 0 {
@@ -924,22 +953,214 @@ func (p *Pool) onOffloadSubmitted(ci int) {
 		p.coreAfterTask(ci, nil, now)
 		return
 	}
+	if p.cfg.OffloadBatch > 1 {
+		p.submitOffloadBatch(ci, t, now)
+		return
+	}
 	cbs := int(t.node.Features.Get(ran.FCodeblocks))
 	done, err := p.cfg.Accel.Submit(now, t.node.Kind, cbs)
 	if err != nil {
-		// Not offloadable after all (wrong kind, no lanes, invalid rate):
-		// execute on this core instead (the core keeps its ref).
-		if p.flt != nil {
-			p.report.Faults.CPUFallbacks++
-			p.taskRecover(now, faults.LaneFailure, recoverCPUFallback, t)
-		}
-		p.execOnCore(ci, t, now)
+		p.offloadRejected(ci, t, now, err)
 		return
 	}
 	run.offloadTime += done - now
 	// The core's run ref moves to the completion event (net zero).
 	p.eng.AtKind(done, p.kOffloadDone, int64(run.id), int64(t.node.ID))
 	p.coreAfterTask(ci, nil, now)
+}
+
+// offloadRejected recovers a task whose device submission was rejected —
+// wrong kind, no lanes, invalid rate, VF queue backpressure, or the whole
+// fleet in reset — by executing in software on the submitting core (the core
+// keeps its run ref; execOnCore re-attaches the task).
+func (p *Pool) offloadRejected(ci int, t *task, now sim.Time, err error) {
+	switch err {
+	case accel.ErrDeviceDown:
+		// Whole-fleet outage: inject a device-reset fault event keyed on
+		// this DAG so the autopsy can attribute the miss to the reset.
+		if p.flt != nil {
+			p.report.Faults.CPUFallbacks++
+			p.taskFault(now, faults.DeviceReset, t, 0)
+			p.taskRecover(now, faults.DeviceReset, recoverCPUFallback, t)
+		}
+	case accel.ErrQueueFull:
+		p.report.OffloadQueueFull++
+		if p.flt != nil {
+			p.report.Faults.CPUFallbacks++
+			p.taskRecover(now, faults.LaneFailure, recoverCPUFallback, t)
+		}
+	default:
+		if p.flt != nil {
+			p.report.Faults.CPUFallbacks++
+			p.taskRecover(now, faults.LaneFailure, recoverCPUFallback, t)
+		}
+	}
+	p.execOnCore(ci, t, now)
+}
+
+// batchLess orders batch followers by the ready queue's EDF key (deadline,
+// readyAt, node ID) extended with the DAG release sequence, making the order
+// total — two cells' tasks can tie on the heap key, and scratch selection
+// must not depend on heap layout.
+func batchLess(a, b *task) bool {
+	if a.dag.dag.Deadline != b.dag.dag.Deadline {
+		return a.dag.dag.Deadline < b.dag.dag.Deadline
+	}
+	if a.readyAt != b.readyAt {
+		return a.readyAt < b.readyAt
+	}
+	if a.dag.seq != b.dag.seq {
+		return a.dag.seq < b.dag.seq
+	}
+	return a.node.ID < b.node.ID
+}
+
+// batchInsert keeps batchTasks[1:] the EDF-least candidates seen so far,
+// sorted, capped so the whole batch (lead included) stays within limit.
+func (p *Pool) batchInsert(cand *task, limit int) {
+	bt := p.batchTasks
+	if len(bt) < limit {
+		p.batchTasks = append(bt, cand)
+	} else if batchLess(cand, bt[len(bt)-1]) {
+		bt[len(bt)-1] = cand
+	} else {
+		return
+	}
+	bt = p.batchTasks
+	for i := len(bt) - 1; i > 1 && batchLess(bt[i], bt[i-1]); i-- {
+		bt[i], bt[i-1] = bt[i-1], bt[i]
+	}
+}
+
+// clearBatch drops the scratch's task references so recycled runs are never
+// reachable from the pool between batches.
+func (p *Pool) clearBatch() {
+	for i := range p.batchTasks {
+		p.batchTasks[i] = nil
+	}
+	p.batchTasks = p.batchTasks[:0]
+}
+
+// submitOffloadBatch coalesces the lead task's DMA window with ready
+// offloadable tasks of the same kind from the lead's queue, amortizing
+// SubmitCost across the batch. Scheduler-aware admission: followers join in
+// EDF order and only while the no-queueing device estimate still meets their
+// deadline — a task the batch would make late keeps its own core-paced
+// submission. Followers the device rejects (queue full, device down) simply
+// stay queued and retry through the normal dispatch path.
+func (p *Pool) submitOffloadBatch(ci int, lead *task, now sim.Time) {
+	kind := lead.node.Kind
+	qi := p.queueIndex(lead.node.CellID)
+	p.batchTasks = append(p.batchTasks[:0], lead)
+	for _, cand := range p.queues[qi] {
+		if cand.node.Kind != kind || cand.noOffload {
+			continue
+		}
+		est, err := p.cfg.Accel.Expected(kind, int(cand.node.Features.Get(ran.FCodeblocks)))
+		if err != nil || now+est > cand.dag.dag.Deadline {
+			continue
+		}
+		p.batchInsert(cand, p.cfg.OffloadBatch)
+	}
+	p.batchCbs = p.batchCbs[:0]
+	for _, bt := range p.batchTasks {
+		p.batchCbs = append(p.batchCbs, int(bt.node.Features.Get(ran.FCodeblocks)))
+	}
+	if cap(p.batchDones) < len(p.batchTasks) {
+		p.batchDones = make([]sim.Time, len(p.batchTasks))
+	}
+	dones := p.batchDones[:len(p.batchTasks)]
+	accepted, err := p.cfg.Accel.SubmitBatch(now, kind, p.batchCbs, dones)
+	if accepted == 0 {
+		p.clearBatch()
+		p.offloadRejected(ci, lead, now, err)
+		return
+	}
+	run := lead.dag
+	run.offloadTime += dones[0] - now
+	// The core's run ref moves to the lead's completion event (net zero).
+	p.eng.AtKind(dones[0], p.kOffloadDone, int64(run.id), int64(lead.node.ID))
+	totalCbs := 0
+	for i := 0; i < accepted; i++ {
+		totalCbs += p.batchCbs[i]
+	}
+	for i := 1; i < accepted; i++ {
+		f := p.batchTasks[i]
+		frun := f.dag
+		p.pc.checkLive(frun)
+		p.queues[qi].removeAt(f.heapIndex)
+		frun.refs++ // the completion event references the follower's run
+		f.running = true
+		f.started = now
+		if p.tel != nil {
+			delay := now - f.readyAt
+			p.report.observeQueueDelay(f.node.CellID, delay)
+			p.tel.hQueueUs.Observe(delay.Us())
+			p.tel.trc.Emit(telemetry.Event{
+				At: now, Kind: telemetry.EvTaskDispatch,
+				Core: -1, Cell: int32(f.node.CellID), Slot: int32(frun.dag.Slot),
+				Task: int32(f.node.Kind), Dur: delay, A: frun.seq, B: int64(f.node.ID),
+			})
+		}
+		frun.offloadTime += dones[i] - now
+		p.eng.AtKind(dones[i], p.kOffloadDone, int64(frun.id), int64(f.node.ID))
+		p.report.TasksExecuted++
+	}
+	if accepted > 1 {
+		p.report.OffloadBatches++
+		p.report.BatchedTasks += uint64(accepted - 1)
+		saved := sim.Time(accepted-1) * p.cfg.Accel.SubmitCost
+		p.report.SubmitSaved += saved
+		if p.tel != nil {
+			p.tel.trc.Emit(telemetry.Event{
+				At: now, Kind: telemetry.EvBatchSubmit,
+				Core: int32(ci), Cell: int32(lead.node.CellID), Slot: int32(run.dag.Slot),
+				Task: int32(kind), Dur: saved, A: int64(accepted), B: int64(totalCbs),
+			})
+		}
+	}
+	p.clearBatch()
+	p.coreAfterTask(ci, nil, now)
+}
+
+// onReconcile is the device-fleet reconciliation loop: poll each device's
+// injected reset window, propagate membership transitions to the
+// accelerator, and re-partition VF queue depths when membership changed.
+// Degradation is graceful by construction — a submission hitting a downed
+// fleet flows through offloadRejected's CPU-fallback path.
+func (p *Pool) onReconcile(now sim.Time) {
+	acc := p.cfg.Accel
+	changed := false
+	for d := range p.devDown {
+		down := p.flt.DeviceDown(d, now)
+		if down == p.devDown[d] {
+			continue
+		}
+		p.devDown[d] = down
+		acc.SetDeviceDown(d, down)
+		changed = true
+		if p.tel != nil {
+			state := int64(0)
+			if down {
+				state = 1
+			}
+			p.tel.trc.Emit(telemetry.Event{
+				At: now, Kind: telemetry.EvDeviceReset,
+				Core: -1, Cell: -1, Slot: -1, Task: -1,
+				A: int64(d), B: state,
+			})
+		}
+	}
+	if changed {
+		alive := acc.Reconcile()
+		if p.tel != nil {
+			p.tel.trc.Emit(telemetry.Event{
+				At: now, Kind: telemetry.EvReconcile,
+				Core: -1, Cell: -1, Slot: -1, Task: -1,
+				A: int64(alive), B: int64(len(p.devDown)),
+			})
+		}
+	}
 }
 
 // onOffloadTimeout fires the stuck-offload watchdog: the submitted request
@@ -1255,6 +1476,9 @@ func (p *Pool) schedulerState(now sim.Time) scheduler.PoolState {
 			for _, t := range p.queues[qi] {
 				if oldest < 0 || t.readyAt < oldest {
 					oldest = t.readyAt
+				}
+				if p.cfg.Accel != nil && !t.noOffload && p.cfg.Accel.Offloads(t.node.Kind) {
+					st.OffloadableReady++
 				}
 			}
 		}

@@ -53,6 +53,17 @@ type Report struct {
 	// (Fig 4b's failure mode) or the pool is spreading the pain evenly.
 	PerCell []CellStats
 
+	// Offload batching and VF-queue accounting (all zero — and absent from
+	// String — unless batching or a bounded queue depth is configured).
+	// OffloadBatches counts coalesced DMA transfers (≥2 requests);
+	// BatchedTasks counts the follower tasks that skipped their own submit
+	// window; SubmitSaved integrates the CPU submit time amortized away;
+	// OffloadQueueFull counts submissions rejected by VF backpressure.
+	OffloadBatches   uint64
+	BatchedTasks     uint64
+	SubmitSaved      sim.Time
+	OffloadQueueFull uint64
+
 	// Faults aggregates chaos-run accounting: injected faults per class plus
 	// the recovery actions the pool took. All-zero when no injector is
 	// attached; FaultsEnabled gates the report section so fault-free output
@@ -78,6 +89,7 @@ type FaultStats struct {
 	Storms           uint64
 	FronthaulLate    uint64
 	FronthaulDropped uint64
+	DeviceResets     uint64
 	// Recovery actions.
 	OffloadTimeouts uint64 // stuck-offload watchdog firings
 	OffloadRetries  uint64 // offload re-submissions after a timeout
@@ -89,7 +101,7 @@ type FaultStats struct {
 // Injected sums all injected faults.
 func (f FaultStats) Injected() uint64 {
 	return f.LaneFailures + f.StuckOffloads + f.Overruns + f.Bursts +
-		f.Storms + f.FronthaulLate + f.FronthaulDropped
+		f.Storms + f.FronthaulLate + f.FronthaulDropped + f.DeviceResets
 }
 
 // Recoveries sums all recovery actions.
@@ -361,11 +373,15 @@ func (r *Report) String() string {
 		100*r.RANUtilization(), 100*r.OwnedUtilization())
 	fmt.Fprintf(&sb, "sched events    %d (%.2f per ms), %d preemptions, %d rotations\n",
 		r.SchedulingEvents, r.CoreChurnPerMs(), r.Preemptions, r.Rotations)
+	if r.OffloadBatches > 0 || r.OffloadQueueFull > 0 {
+		fmt.Fprintf(&sb, "offload batch   %d batches, %d coalesced, %v submit saved, %d queue-full rejections\n",
+			r.OffloadBatches, r.BatchedTasks, r.SubmitSaved, r.OffloadQueueFull)
+	}
 	if r.FaultsEnabled {
 		f := r.Faults
-		fmt.Fprintf(&sb, "faults          %d injected (%d lane, %d stuck, %d overrun, %d burst, %d storm, %d late, %d dropped-fh)\n",
+		fmt.Fprintf(&sb, "faults          %d injected (%d lane, %d stuck, %d overrun, %d burst, %d storm, %d late, %d dropped-fh, %d reset)\n",
 			f.Injected(), f.LaneFailures, f.StuckOffloads, f.Overruns,
-			f.Bursts, f.Storms, f.FronthaulLate, f.FronthaulDropped)
+			f.Bursts, f.Storms, f.FronthaulLate, f.FronthaulDropped, f.DeviceResets)
 		fmt.Fprintf(&sb, "recovery        %d timeouts, %d retries, %d cpu fallbacks, %d storm yields, %d dags abandoned\n",
 			f.OffloadTimeouts, f.OffloadRetries, f.CPUFallbacks, f.StormYields, f.AbandonedDAGs)
 	}

@@ -171,6 +171,9 @@ var chromeDispositions = [numEventKinds]traceDisposition{
 	EvCellAdmit:     dispRendered,
 	EvCellMigrate:   dispRendered,
 	EvCellReject:    dispRendered,
+	EvDeviceReset:   dispRendered,
+	EvReconcile:     dispRendered,
+	EvBatchSubmit:   dispSuppressed, // metrics-level; offload spans already render per request
 }
 
 // convertEvent maps one telemetry event to zero or more trace events.
@@ -271,10 +274,25 @@ func convertEvent(ev Event) []traceEvent {
 			Ts: us(ev.At), Pid: pidPool, Tid: tidSched, Scope: "p",
 			Args: map[string]any{"cell": ev.Cell, "feasible": ev.B},
 		}}
+	case EvDeviceReset:
+		name := "device_up"
+		if ev.B == 1 {
+			name = "device_down"
+		}
+		return []traceEvent{{
+			Name: name, Cat: "accel", Ph: "i",
+			Ts: us(ev.At), Pid: pidAccel, Tid: 0, Scope: "p",
+			Args: map[string]any{"device": ev.A},
+		}}
+	case EvReconcile:
+		return []traceEvent{{
+			Name: "reconcile", Cat: "accel", Ph: "i",
+			Ts: us(ev.At), Pid: pidAccel, Tid: 0, Scope: "p",
+			Args: map[string]any{"alive": ev.A, "devices": ev.B},
+		}}
 	default:
 		// Enqueue/dispatch are metrics-level events; they would double the
 		// span count without adding viewer value.
 		return nil
 	}
 }
-

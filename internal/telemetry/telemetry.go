@@ -108,6 +108,17 @@ const (
 	// server lies within its fronthaul-latency budget. Cell=global cell ID,
 	// Slot=fleet epoch, A=-1, B=feasible-server count (0).
 	EvCellReject
+	// EvDeviceReset marks an accelerator device entering (B=1) or leaving
+	// (B=0) an injected whole-device reset. A=device ID.
+	EvDeviceReset
+	// EvReconcile marks the pool's reconciliation loop re-partitioning VF
+	// queue depths after fleet membership changed. A=devices serving
+	// traffic, B=total devices.
+	EvReconcile
+	// EvBatchSubmit marks one coalesced offload DMA transfer: A=requests in
+	// the batch, B=total codeblocks, Dur=CPU submit time amortized away
+	// versus per-task submission.
+	EvBatchSubmit
 	numEventKinds
 )
 
@@ -121,6 +132,7 @@ var eventKindNames = [numEventKinds]string{
 	"core_acquire", "core_awake", "core_yield", "core_rotate",
 	"sched_decision", "interference", "fault_inject", "fault_recover",
 	"predict_sample", "cell_admit", "cell_migrate", "cell_reject",
+	"device_reset", "reconcile", "batch_submit",
 }
 
 // String implements fmt.Stringer.

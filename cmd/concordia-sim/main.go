@@ -66,6 +66,10 @@ func main() {
 	faultsSpec := flag.String("faults", "", `deterministic fault injection spec, e.g. "lane=0.05,stuck=0.01,burst=5" or "all" (see internal/faults)`)
 	dropLate := flag.Bool("drop-late", false, "abandon DAGs whose deadline has passed (counted as dropped misses)")
 	eventsOut := flag.String("events", "", "write the run's raw telemetry events CSV to this file (feed to cmd/autopsy)")
+	sloOut := flag.String("slo", "", "enable the streaming SLO plane and write its window rows CSV to this file")
+	sloReport := flag.String("slo-report", "", "enable the streaming SLO plane and write its markdown health report to this file")
+	sloWindow := flag.Float64("slo-window", 0, "SLO tumbling sub-window width in ms (0 = default 20)")
+	sloBurn := flag.Float64("slo-burn", 0, "SLO burn-rate alert threshold (0 = default 14.4)")
 	autopsyOut := flag.String("autopsy", "", "write the run's markdown autopsy report (miss attribution + calibration) to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -145,9 +149,18 @@ func main() {
 		}
 	}
 	// -per-cell needs the instrumented path too: queueing delays are observed
-	// per dispatch only when telemetry is on.
-	if *traceOut != "" || *metricsOut != "" || *perCell || *eventsOut != "" || *autopsyOut != "" {
+	// per dispatch only when telemetry is on. The SLO plane works without
+	// telemetry, but attaching the recorder lets its window/alert events land
+	// in the trace exports as well.
+	if *traceOut != "" || *metricsOut != "" || *perCell || *eventsOut != "" || *autopsyOut != "" ||
+		*sloOut != "" || *sloReport != "" {
 		cfg.Telemetry = concordia.NewTelemetry(concordia.TelemetryOptions{})
+	}
+	if *sloOut != "" || *sloReport != "" {
+		cfg.SLO = &concordia.SLOOptions{
+			Window:        concordia.Milliseconds(*sloWindow),
+			BurnThreshold: *sloBurn,
+		}
 	}
 	if *replayPath != "" {
 		f, err := os.Open(*replayPath)
@@ -199,6 +212,18 @@ func main() {
 	}
 	if *eventsOut != "" {
 		if err := writeExport(*eventsOut, sys.Telemetry().Trace.WriteEventsCSV); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	if *sloOut != "" {
+		if err := writeExport(*sloOut, sys.WriteSLOCSV); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	if *sloReport != "" {
+		if err := writeExport(*sloReport, sys.WriteSLOReport); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}

@@ -72,6 +72,10 @@ func main() {
 	metricsOut := flag.String("metrics", "", "capture the canonical scenario's metrics time-series CSV to this file and exit")
 	faultsSpec := flag.String("faults", "", `run the chaos study with this fault spec ("sweep" for the per-class ladder) and exit`)
 	autopsyOut := flag.String("autopsy", "", `run the canonical scenario (or, with -faults, a chaos run) through the analysis engine and write the markdown autopsy report to this file`)
+	sloOut := flag.String("slo", "", "run the chaos testbed with the streaming SLO plane and write its window rows CSV to this file, then exit")
+	sloReport := flag.String("slo-report", "", "run the chaos testbed with the streaming SLO plane and write its markdown health report to this file, then exit")
+	sloWindow := flag.Float64("slo-window", 0, "SLO tumbling sub-window width in ms (0 = default 20)")
+	sloBurn := flag.Float64("slo-burn", 0, "SLO burn-rate alert threshold (0 = default 14.4)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -132,6 +136,47 @@ func main() {
 		err = a.WriteReport(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sloOut != "" || *sloReport != "" {
+		spec := *faultsSpec
+		if spec == "sweep" {
+			fmt.Fprintln(os.Stderr, `error: -slo needs a concrete fault spec, not "sweep"`)
+			os.Exit(2)
+		}
+		open := func(path string) (*os.File, io.Writer, error) {
+			if path == "" {
+				return nil, nil, nil
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			return f, f, nil
+		}
+		cf, cw, err := open(*sloOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		rf, rw, err := open(*sloReport)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		err = experiments.CaptureSLO(o, spec, *sloWindow, *sloBurn, cw, rw)
+		for _, f := range []*os.File{cf, rf} {
+			if f == nil {
+				continue
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)

@@ -4,15 +4,41 @@
 // sustained load/miss pressure. One migration is forced at epoch 2 so the
 // mechanism is always visible, whatever the pressure profile — watch the
 // per-epoch table and the final placement spread.
+//
+// With -slo the streaming SLO plane runs on every server and the fleet-merged
+// window rows land in the given CSV file; -slo-report writes the markdown
+// fleet-health report (per-slice budget burn, top burning cells, alert
+// timeline). Both are byte-identical at any worker count.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"concordia"
 )
 
+func writeExport(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
+	sloOut := flag.String("slo", "", "attach the streaming SLO plane and write fleet-merged window rows CSV to this file")
+	sloReport := flag.String("slo-report", "", "attach the streaming SLO plane and write the markdown fleet-health report to this file")
+	sloWindow := flag.Float64("slo-window", 0, "SLO tumbling sub-window width in ms (0 = default 20)")
+	sloBurn := flag.Float64("slo-burn", 0, "SLO burn-rate alert threshold (0 = default 14.4)")
+	flag.Parse()
+
 	cfg := concordia.FleetConfig{
 		Cells:          40,
 		Servers:        4,
@@ -25,6 +51,12 @@ func main() {
 		ForceMigrateEpoch: 2,
 		Seed:              11,
 		TrainingSlots:     400,
+	}
+	if *sloOut != "" || *sloReport != "" {
+		cfg.SLO = &concordia.SLOOptions{
+			Window:        concordia.Milliseconds(*sloWindow),
+			BurnThreshold: *sloBurn,
+		}
 	}
 	res, err := concordia.RunFleet(cfg)
 	if err != nil {
@@ -47,5 +79,23 @@ func main() {
 	fmt.Println("\nfinal placement (cells per server):")
 	for s, n := range perServer {
 		fmt.Printf("  server %d: %d cells\n", s, n)
+	}
+
+	if res.SLO != nil {
+		fmt.Println("\nfleet SLO slices:")
+		for _, s := range res.SLO.SliceSummaries() {
+			fmt.Printf("  %-6s attempts %-7d misses %-5d budget remaining %.3f\n",
+				s.Name, s.Attempts, s.Misses, s.BudgetRemaining)
+		}
+		if *sloOut != "" {
+			if err := writeExport(*sloOut, res.SLO.WriteCSV); err != nil {
+				panic(err)
+			}
+		}
+		if *sloReport != "" {
+			if err := writeExport(*sloReport, res.SLO.WriteHealthReport); err != nil {
+				panic(err)
+			}
+		}
 	}
 }

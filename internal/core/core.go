@@ -23,6 +23,7 @@ import (
 	"concordia/internal/rng"
 	"concordia/internal/scheduler"
 	"concordia/internal/sim"
+	"concordia/internal/slo"
 	"concordia/internal/telemetry"
 	"concordia/internal/traffic"
 	"concordia/internal/workloads"
@@ -99,6 +100,12 @@ type Config struct {
 	// WriteChromeTrace / WriteMetricsCSV. Nil (the default) disables telemetry
 	// at near-zero cost.
 	Telemetry *telemetry.Recorder
+	// SLO, when non-nil, attaches the streaming SLO plane (internal/slo):
+	// windowed quantile sketches, per-slice burn-rate alerts and the health
+	// report, exported with WriteSLOCSV / WriteSLOReport. A zero Deadline in
+	// the options inherits the system deadline; events flow into Telemetry's
+	// tracer when that is also enabled.
+	SLO *slo.Options
 	// Faults, when non-nil with positive rates, enables the deterministic
 	// chaos injector (internal/faults): lane failures, stuck offloads, WCET
 	// overruns, interference bursts, core-yield storms, and late/dropped
@@ -208,6 +215,7 @@ func (c *Config) buildScheduler() (scheduler.Scheduler, error) {
 type System struct {
 	cfg        Config
 	pool       *pool.Pool
+	slo        *slo.Tracker
 	Predictors pool.PredictorSet
 
 	workload *workloads.Schedule
@@ -368,6 +376,18 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
+	var sloTracker *slo.Tracker
+	if cfg.SLO != nil {
+		opts := *cfg.SLO
+		if opts.Deadline <= 0 {
+			opts.Deadline = cfg.Deadline
+		}
+		var trc *telemetry.Tracer
+		if cfg.Telemetry != nil {
+			trc = cfg.Telemetry.Trace
+		}
+		sloTracker = slo.New(opts, trc)
+	}
 	p, err := pool.New(pool.Config{
 		Cells:             cfg.Cells,
 		PoolCores:         cfg.PoolCores,
@@ -390,13 +410,14 @@ func NewSystem(cfg Config) (*System, error) {
 		IncludeMAC:        cfg.IncludeMAC,
 		StaticPartition:   cfg.Scheduler == SchedFlexRAN,
 		Telemetry:         cfg.Telemetry,
+		SLO:               sloTracker,
 		Faults:            cfg.Faults,
 		DropLateDAGs:      cfg.DropLateDAGs,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &System{cfg: cfg, pool: p, Predictors: set, workload: wl}, nil
+	return &System{cfg: cfg, pool: p, slo: sloTracker, Predictors: set, workload: wl}, nil
 }
 
 // coreDecisionBuckets builds histogram bounds 0..poolCores, one bucket per
@@ -446,6 +467,25 @@ func (s *System) WriteMetricsCSV(w io.Writer) error {
 		return errors.New("core: telemetry not enabled")
 	}
 	return rec.Metrics.WriteMetricsCSV(w)
+}
+
+// SLO returns the streaming SLO tracker (nil when disabled).
+func (s *System) SLO() *slo.Tracker { return s.slo }
+
+// WriteSLOCSV exports the last run's SLO window rows as CSV.
+func (s *System) WriteSLOCSV(w io.Writer) error {
+	if s.slo == nil {
+		return errors.New("core: SLO tracking not enabled")
+	}
+	return s.slo.WriteCSV(w)
+}
+
+// WriteSLOReport writes the markdown SLO health report for the last run.
+func (s *System) WriteSLOReport(w io.Writer) error {
+	if s.slo == nil {
+		return errors.New("core: SLO tracking not enabled")
+	}
+	return s.slo.WriteHealthReport(w)
 }
 
 // MinimumCores searches for the smallest pool size that meets the deadline

@@ -183,6 +183,8 @@ func RunCSV(name string, o Options, w io.Writer) error {
 		res, err = RunFleet(o)
 	case "accelsweep":
 		res, err = RunAccelSweep(o)
+	case "slosweep":
+		res, err = RunSLOSweep(o)
 	default:
 		return fmt.Errorf("experiments: %q has no CSV form", name)
 	}

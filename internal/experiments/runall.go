@@ -14,7 +14,7 @@ var Names = []string{
 	"fig3", "pooling", "fig4a", "fig4b", "fig6", "fig7", "fig8a", "fig8b",
 	"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b",
 	"table3", "table4", "fig17", "ablation", "extension", "calibration",
-	"chaos", "predcal", "fleet", "accelsweep",
+	"chaos", "predcal", "fleet", "accelsweep", "slosweep",
 }
 
 // Run executes one named experiment and writes its rendered result.
@@ -74,6 +74,8 @@ func Run(name string, o Options, w io.Writer) error {
 		res, err = RunFleet(o)
 	case "accelsweep":
 		res, err = RunAccelSweep(o)
+	case "slosweep":
+		res, err = RunSLOSweep(o)
 	default:
 		return fmt.Errorf("experiments: unknown experiment %q", name)
 	}

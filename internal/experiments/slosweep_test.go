@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSLOSweepAlertLeadsSpike is the streaming SLO plane's reason to exist:
+// on the storm chaos scenario, at least one sweep point must fire a
+// burn-rate alert before the autopsy-attributed miss spike has completed —
+// the online plane pages while the incident is still unfolding, without
+// waiting for post-hoc trace analysis.
+func TestSLOSweepAlertLeadsSpike(t *testing.T) {
+	o := quick(t)
+	r, err := RunSLOSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(sloSweepWindowsMs) * len(sloSweepLoads); len(r.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), want)
+	}
+	leads := 0
+	for _, row := range r.Rows {
+		if row.DAGs == 0 {
+			t.Errorf("window=%gms load=%g: no DAGs released", row.WindowMs, row.Load)
+		}
+		if row.Misses == 0 {
+			t.Errorf("window=%gms load=%g: storm scenario produced no autopsy misses", row.WindowMs, row.Load)
+		}
+		if row.Leads {
+			leads++
+			if row.FirstAlertUs < 0 || row.FirstAlertUs >= row.SpikeEndUs {
+				t.Errorf("window=%gms load=%g: Leads set but alert=%f spike_end=%f",
+					row.WindowMs, row.Load, row.FirstAlertUs, row.SpikeEndUs)
+			}
+		}
+	}
+	if leads == 0 {
+		t.Fatalf("no sweep point alerted before its miss spike completed:\n%s", r.String())
+	}
+}
+
+// TestSLOSweepWorkerDeterminism: the sweep table and CSV are byte-identical
+// at any worker count — each job owns its system, recorder and SLO tracker,
+// and rows land in grid order regardless of completion order.
+func TestSLOSweepWorkerDeterminism(t *testing.T) {
+	base := quick(t)
+	type capture struct {
+		workers  int
+		tab, csv []byte
+	}
+	var captures []capture
+	for _, w := range []int{1, 2, 8} {
+		o := base
+		o.Workers = w
+		r, err := RunSLOSweep(o)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		var csv bytes.Buffer
+		if err := WriteCSV(r, &csv); err != nil {
+			t.Fatal(err)
+		}
+		c := capture{workers: w, tab: []byte(r.String()), csv: csv.Bytes()}
+		if len(c.tab) == 0 || len(c.csv) == 0 {
+			t.Fatalf("Workers=%d: empty artifact", w)
+		}
+		captures = append(captures, c)
+	}
+	for _, c := range captures[1:] {
+		if !bytes.Equal(captures[0].tab, c.tab) {
+			t.Errorf("slosweep table differs between Workers=1 and Workers=%d", c.workers)
+		}
+		if !bytes.Equal(captures[0].csv, c.csv) {
+			t.Errorf("slosweep CSV differs between Workers=1 and Workers=%d", c.workers)
+		}
+	}
+}

@@ -46,6 +46,10 @@ const (
 	numClasses
 )
 
+// NumClasses is the size of the fault taxonomy, exported for consumers that
+// key fixed-size per-class tables (the SLO plane's miss attribution).
+const NumClasses = int(numClasses)
+
 var classNames = [numClasses]string{
 	"lane_failure", "stuck_offload", "task_overrun", "interference_burst",
 	"yield_storm", "fronthaul_late", "fronthaul_drop", "device_reset",

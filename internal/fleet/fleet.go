@@ -26,6 +26,7 @@ import (
 	"concordia/internal/ran"
 	"concordia/internal/rng"
 	"concordia/internal/sim"
+	"concordia/internal/slo"
 	"concordia/internal/telemetry"
 	"concordia/internal/traffic"
 )
@@ -81,6 +82,13 @@ type Config struct {
 	// the merged trace is DAG-level — cmd/autopsy's migration rule is built
 	// for exactly that.
 	Telemetry *telemetry.Recorder
+	// SLO, when non-nil, attaches a streaming SLO tracker to every server
+	// (slice assignment evaluated on fleet-global cell IDs) and merges the
+	// per-server sketches into Result.SLO at each epoch barrier — a serial
+	// reduction in (epoch, server) order, byte-identical at any Workers.
+	// Per-server EvSLOWindow/EvSLOAlert events are remapped into the merged
+	// fleet trace when Telemetry is also set.
+	SLO *slo.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -166,6 +174,11 @@ type Result struct {
 	Epochs []EpochStats
 	// Assign is the final cell→server placement (-1 = rejected).
 	Assign []int
+
+	// SLO is the fleet-merged SLO tracker (nil unless Config.SLO was set):
+	// per-cell run-total sketches keyed by global cell ID, the union of all
+	// servers' window rows and alert timelines, and the fleet health report.
+	SLO *slo.Tracker
 }
 
 // MissRate returns the fleet-wide deadline-miss fraction.
@@ -181,6 +194,7 @@ func (r *Result) MissRate() float64 {
 type serverEpoch struct {
 	report *pool.Report
 	misses []telemetry.Event // remapped to fleet-global identifiers
+	slo    *slo.Tracker      // flushed per-server tracker (keys are local cells)
 }
 
 // Run executes one fleet simulation.
@@ -260,6 +274,18 @@ func Run(cfg Config) (*Result, error) {
 		TotalCores: cfg.Servers * cfg.CoresPerServer,
 		Epochs:     make([]EpochStats, cfg.Epochs),
 	}
+	if cfg.SLO != nil {
+		opts := *cfg.SLO
+		if opts.Deadline <= 0 {
+			// Match the per-server Scenario20MHz deadline so fleet-level
+			// summaries report slack against the same budget the servers ran.
+			opts.Deadline = sim.FromMs(2)
+		}
+		// The fleet tracker is an aggregation sink: per-server trackers do
+		// the windowing and event emission; this one accumulates their
+		// merged totals, rows and alerts.
+		res.SLO = slo.New(opts, nil)
+	}
 	pressure := make([]float64, cfg.Servers)
 	epochDemand := make([]float64, cfg.Cells)
 	epochDur := sim.Time(epochSlots) * slotDur
@@ -330,6 +356,15 @@ func Run(cfg Config) (*Result, error) {
 					cfg.Telemetry.Trace.Emit(ev)
 				}
 			}
+			if res.SLO != nil && run.slo != nil {
+				globals := make([]int32, len(cellsOf[s]))
+				for i, c := range cellsOf[s] {
+					globals[i] = int32(c)
+				}
+				if err := res.SLO.MergeRemapped(run.slo, globals, int32(s), epochStart); err != nil {
+					return nil, fmt.Errorf("fleet: epoch %d server %d: %w", e, s, err)
+				}
+			}
 		}
 
 		// The partitioned baseline never consults the placement engine after
@@ -389,24 +424,46 @@ func runServerEpoch(cfg Config, preds pool.PredictorSet, s, epoch int, epochStar
 		rec = telemetry.New(telemetry.Options{TraceCapacity: serverTraceCapacity(len(cells), hi-lo)})
 		cc.Telemetry = rec
 	}
+	if cfg.SLO != nil {
+		opts := *cfg.SLO
+		opts.Server = int32(s)
+		// Slice membership is a property of the fleet-global cell, not of
+		// wherever it happens to be placed this epoch: evaluate the caller's
+		// slice map (or the even/odd default) on the global ID.
+		base := cfg.SLO.SliceOf
+		opts.SliceOf = func(local int32) int32 {
+			g := int32(cells[local])
+			if base != nil {
+				return base(g)
+			}
+			return g % 2
+		}
+		cc.SLO = &opts
+	}
 	sys, err := core.NewSystem(cc)
 	if err != nil {
 		return serverEpoch{}, fmt.Errorf("fleet: server %d epoch %d: %w", s, epoch, err)
 	}
 	rep := sys.Run(epochDur)
-	out := serverEpoch{report: rep}
+	out := serverEpoch{report: rep, slo: sys.SLO()}
 	if rec != nil {
 		// Fleet-unique DAG sequences: the merged trace must never collide
 		// two servers' (or two epochs') local sequence counters.
 		seqBase := int64(epoch*cfg.Servers+s+1) << 32
 		for _, ev := range rec.Trace.Events() {
-			if ev.Kind != telemetry.EvDeadlineMiss {
+			switch ev.Kind {
+			case telemetry.EvDeadlineMiss:
+				ev.Cell = int32(cells[ev.Cell])
+				ev.Slot += int32(lo)
+				ev.At += epochStart
+				ev.A += seqBase
+			case telemetry.EvSLOWindow, telemetry.EvSLOAlert:
+				// Slice-level events carry no cell or DAG sequence; the Core
+				// field already holds the server index. Only time shifts.
+				ev.At += epochStart
+			default:
 				continue
 			}
-			ev.Cell = int32(cells[ev.Cell])
-			ev.Slot += int32(lo)
-			ev.At += epochStart
-			ev.A += seqBase
 			out.misses = append(out.misses, ev)
 		}
 	}

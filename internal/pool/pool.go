@@ -19,6 +19,7 @@ import (
 	"concordia/internal/rng"
 	"concordia/internal/scheduler"
 	"concordia/internal/sim"
+	"concordia/internal/slo"
 	"concordia/internal/telemetry"
 	"concordia/internal/traffic"
 	"concordia/internal/workloads"
@@ -130,6 +131,12 @@ type Config struct {
 	// the no-op path: every instrumentation site reduces to one predictable
 	// branch, keeping the hot loop within noise of the uninstrumented pool.
 	Telemetry *telemetry.Recorder
+	// SLO, when non-nil, streams per-DAG latency/slack and per-task runtime
+	// observations into the windowed SLO tracker (internal/slo): quantile
+	// sketches, miss/attempt counters and burn-rate alerts, all in virtual
+	// time. Nil — the default — reduces every record site to one nil check,
+	// mirroring the Telemetry fast path.
+	SLO *slo.Tracker
 	// Faults, when non-nil with positive rates, attaches the deterministic
 	// chaos injector (internal/faults): accelerator lane failures and stuck
 	// offloads (recovered by a virtual-time watchdog with bounded retries),
@@ -511,6 +518,7 @@ func (p *Pool) Run(duration sim.Time) *Report {
 	}
 	p.eng.Run(duration)
 	p.accountCoreTime(p.eng.Now())
+	p.cfg.SLO.Flush(p.eng.Now())
 	if p.flt != nil {
 		s := p.flt.Stats()
 		f := &p.report.Faults
@@ -1230,6 +1238,7 @@ func (p *Pool) abandonDAG(run *dagRun, now sim.Time) {
 	}
 	p.report.Faults.AbandonedDAGs++
 	p.report.DAGsDropped++
+	p.cfg.SLO.RecordDAG(now, int32(run.dag.CellID), now-run.dag.Release, true)
 	p.report.observeDAG(run.dag.Dir, now-run.dag.Release, true)
 	p.report.observeCellDAG(run.dag.CellID, true, true)
 	if p.tel != nil {
@@ -1263,6 +1272,7 @@ func (p *Pool) onOffloadDone(t *task) {
 	if run.remainingWork < 0 {
 		run.remainingWork = 0
 	}
+	p.cfg.SLO.RecordTask(now, int32(t.node.CellID), now-t.started)
 	p.report.observeTask(t.node.Kind, now-t.started)
 	if p.tel != nil {
 		p.tel.cTasks.Inc()
@@ -1316,6 +1326,7 @@ func (p *Pool) onTaskDone(ci int) {
 	if p.cfg.Predict != nil {
 		p.cfg.Predict.Observe(t.node.Kind, t.node.Features, measured)
 	}
+	p.cfg.SLO.RecordTask(now, int32(t.node.CellID), measured)
 	p.report.observeTask(t.node.Kind, measured)
 	if p.tel != nil {
 		p.tel.cTasks.Inc()
@@ -1434,6 +1445,7 @@ func (p *Pool) finishDAG(run *dagRun, now sim.Time) {
 	}
 	latency := now - run.dag.Release
 	missed := latency > p.cfg.Deadline
+	p.cfg.SLO.RecordDAG(now, int32(run.dag.CellID), latency, missed)
 	p.report.observeDAG(run.dag.Dir, latency, missed)
 	p.report.observeDAGTimes(run.dag.Dir, run.cpuTime, run.offloadTime, latency)
 	p.report.observeCellDAG(run.dag.CellID, missed, false)
@@ -1562,6 +1574,7 @@ func (p *Pool) dropExpired(now sim.Time) {
 			t.done = true
 		}
 		p.report.DAGsDropped++
+		p.cfg.SLO.RecordDAG(now, int32(run.dag.CellID), now-run.dag.Release, true)
 		p.report.observeDAG(run.dag.Dir, now-run.dag.Release, true)
 		p.report.observeCellDAG(run.dag.CellID, true, true)
 		if p.tel != nil {

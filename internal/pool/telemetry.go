@@ -98,6 +98,9 @@ const (
 // faultTrace emits one fault-injection event; a no-op when telemetry is off.
 // Only called from fault paths, so the counters are always registered.
 func (p *Pool) faultTrace(now sim.Time, class faults.Class, cell, slot, taskKind int32, seq int64, detail sim.Time) {
+	// The SLO tracker's online miss attribution wants fault sightings even
+	// when the event tracer is off (both methods are nil-safe).
+	p.cfg.SLO.NoteFault(now, cell, class)
 	if p.tel == nil {
 		return
 	}

@@ -174,6 +174,8 @@ var chromeDispositions = [numEventKinds]traceDisposition{
 	EvDeviceReset:   dispRendered,
 	EvReconcile:     dispRendered,
 	EvBatchSubmit:   dispSuppressed, // metrics-level; offload spans already render per request
+	EvSLOWindow:     dispRendered,
+	EvSLOAlert:      dispRendered,
 }
 
 // convertEvent maps one telemetry event to zero or more trace events.
@@ -273,6 +275,24 @@ func convertEvent(ev Event) []traceEvent {
 			Name: "cell_reject", Cat: "fleet", Ph: "i",
 			Ts: us(ev.At), Pid: pidPool, Tid: tidSched, Scope: "p",
 			Args: map[string]any{"cell": ev.Cell, "feasible": ev.B},
+		}}
+	case EvSLOWindow:
+		// One counter track per slice: windowed attempts/misses plus the
+		// objective-quantile latency, sampled at each window boundary.
+		return []traceEvent{{
+			Name: "slo_slice_" + strconv.Itoa(int(ev.Task)), Ph: "C",
+			Ts: us(ev.At), Pid: pidPool, Tid: tidSched,
+			Args: map[string]any{"attempts": ev.A, "misses": ev.B, "q_latency_us": ev.Dur.Us()},
+		}}
+	case EvSLOAlert:
+		name := "slo_alert_clear"
+		if ev.B == 1 {
+			name = "slo_alert_fire"
+		}
+		return []traceEvent{{
+			Name: name, Cat: "slo", Ph: "i",
+			Ts: us(ev.At), Pid: pidPool, Tid: tidSched, Scope: "p",
+			Args: map[string]any{"slice": ev.Task, "burn_milli": ev.A, "window": ev.Slot},
 		}}
 	case EvDeviceReset:
 		name := "device_up"

@@ -27,13 +27,11 @@ func formatFloat(v float64) string {
 func (r *Registry) WriteMetricsCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	cols := map[string]bool{}
-	if r != nil {
-		for _, row := range r.rows {
-			for name := range row.vals {
-				cols[name] = true
-			}
+	r.sampleOrder(func(row *sampleRow) {
+		for name := range row.vals {
+			cols[name] = true
 		}
-	}
+	})
 	names := make([]string, 0, len(cols))
 	for name := range cols {
 		names = append(names, name)
@@ -46,18 +44,16 @@ func (r *Registry) WriteMetricsCSV(w io.Writer) error {
 		bw.WriteString(name)
 	}
 	bw.WriteByte('\n')
-	if r != nil {
-		for _, row := range r.rows {
-			bw.WriteString(formatFloat(row.at.Us()))
-			for _, name := range names {
-				bw.WriteByte(',')
-				if v, ok := row.vals[name]; ok {
-					bw.WriteString(formatFloat(v))
-				}
+	r.sampleOrder(func(row *sampleRow) {
+		bw.WriteString(formatFloat(row.at.Us()))
+		for _, name := range names {
+			bw.WriteByte(',')
+			if v, ok := row.vals[name]; ok {
+				bw.WriteString(formatFloat(v))
 			}
-			bw.WriteByte('\n')
 		}
-	}
+		bw.WriteByte('\n')
+	})
 	return bw.Flush()
 }
 

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"concordia/internal/sim"
@@ -55,21 +56,37 @@ func (g *Gauge) Value() float64 {
 // exported bucket set — and therefore the output bytes — independent of the
 // sample stream's order.
 type Histogram struct {
-	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
-	counts []uint64  // len(bounds)+1
-	total  uint64
-	sum    float64
+	bounds  []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts  []uint64  // len(bounds)+1
+	total   uint64
+	sum     float64
+	invalid uint64 // NaN/±Inf observations, dropped from the buckets
 }
 
-// Observe records one sample.
+// Observe records one sample. NaN and ±Inf are not observations: they are
+// dropped and counted in Invalid, rather than silently polluting the
+// overflow bucket (NaN/+Inf) or the first bucket (-Inf) and poisoning the
+// sum.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.invalid++
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[i]++
 	h.total++
 	h.sum += v
+}
+
+// Invalid returns the number of dropped NaN/±Inf observations.
+func (h *Histogram) Invalid() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.invalid
 }
 
 // Total returns the number of observed samples.
@@ -123,11 +140,20 @@ var DefaultLatencyBucketsUs = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000
 //
 // A nil *Registry is valid: lookups return nil metrics whose methods are
 // no-ops, and Sample does nothing.
+//
+// The sampled time series is a bounded ring of the most recent
+// sampleCap rows: long fleet runs with -metrics keep the newest history
+// instead of growing without bound, and evictions are counted.
 type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
-	rows     []sampleRow
+
+	sampleCap   int
+	rows        []sampleRow
+	rowNext     int // next overwrite position once the ring is full
+	rowFull     bool
+	rowsEvicted uint64
 }
 
 type sampleRow struct {
@@ -135,12 +161,27 @@ type sampleRow struct {
 	vals map[string]float64
 }
 
-// NewRegistry returns an empty registry.
+// DefaultSampleCapacity bounds the sampled time series when no explicit
+// capacity is configured: at the pool's one-sample-per-slot cadence this
+// retains over a minute of 5G numerology-1 history.
+const DefaultSampleCapacity = 1 << 17
+
+// NewRegistry returns an empty registry with the default sample capacity.
 func NewRegistry() *Registry {
+	return NewRegistryCapacity(0)
+}
+
+// NewRegistryCapacity returns an empty registry retaining the last
+// capacity sample rows (<=0 selects DefaultSampleCapacity).
+func NewRegistryCapacity(capacity int) *Registry {
+	if capacity <= 0 {
+		capacity = DefaultSampleCapacity
+	}
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
+		counters:  map[string]*Counter{},
+		gauges:    map[string]*Gauge{},
+		hists:     map[string]*Histogram{},
+		sampleCap: capacity,
 	}
 }
 
@@ -191,27 +232,70 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 }
 
 // Sample appends one time-series row holding the current value of every
-// registered counter and gauge, stamped with virtual time at.
+// registered counter and gauge, stamped with virtual time at. Once the
+// ring is full the oldest row is overwritten (its map is reused, so
+// steady-state sampling of a stable metric set does not grow the heap).
 func (r *Registry) Sample(at sim.Time) {
 	if r == nil {
 		return
 	}
-	vals := make(map[string]float64, len(r.counters)+len(r.gauges))
+	var vals map[string]float64
+	if len(r.rows) < r.sampleCap {
+		vals = make(map[string]float64, len(r.counters)+len(r.gauges))
+		r.rows = append(r.rows, sampleRow{at: at, vals: vals})
+	} else {
+		row := &r.rows[r.rowNext]
+		row.at = at
+		clear(row.vals)
+		vals = row.vals
+		r.rowNext++
+		if r.rowNext == len(r.rows) {
+			r.rowNext = 0
+		}
+		r.rowFull = true
+		r.rowsEvicted++
+	}
 	for name, c := range r.counters {
 		vals[name] = float64(c.v)
 	}
 	for name, g := range r.gauges {
 		vals[name] = g.v
 	}
-	r.rows = append(r.rows, sampleRow{at: at, vals: vals})
 }
 
-// Samples returns the number of time-series rows recorded.
+// Samples returns the number of retained time-series rows.
 func (r *Registry) Samples() int {
 	if r == nil {
 		return 0
 	}
 	return len(r.rows)
+}
+
+// SamplesEvicted returns how many rows the ring has overwritten.
+func (r *Registry) SamplesEvicted() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.rowsEvicted
+}
+
+// sampleOrder walks the retained rows oldest-first, calling fn for each.
+func (r *Registry) sampleOrder(fn func(*sampleRow)) {
+	if r == nil {
+		return
+	}
+	if !r.rowFull {
+		for i := range r.rows {
+			fn(&r.rows[i])
+		}
+		return
+	}
+	for i := r.rowNext; i < len(r.rows); i++ {
+		fn(&r.rows[i])
+	}
+	for i := 0; i < r.rowNext; i++ {
+		fn(&r.rows[i])
+	}
 }
 
 // MetricValue is one named value in a registry snapshot.
@@ -249,6 +333,11 @@ func (r *Registry) Snapshot() []MetricValue {
 		h := r.hists[name]
 		out = append(out, MetricValue{Name: name + "_count", Value: float64(h.total)})
 		out = append(out, MetricValue{Name: name + "_sum", Value: h.sum})
+		if h.invalid > 0 {
+			// Emitted only when NaN/±Inf were actually observed, so clean
+			// runs keep their existing snapshot bytes.
+			out = append(out, MetricValue{Name: name + "_invalid", Value: float64(h.invalid)})
+		}
 		cum := uint64(0)
 		for _, b := range h.Buckets() {
 			cum += b.Count

@@ -119,6 +119,15 @@ const (
 	// the batch, B=total codeblocks, Dur=CPU submit time amortized away
 	// versus per-task submission.
 	EvBatchSubmit
+	// EvSLOWindow marks one closed SLO aggregation window for a slice:
+	// Task=slice, Slot=window sequence, Core=server, A=attempts, B=misses,
+	// Dur=the slice objective's quantile latency over the window.
+	EvSLOWindow
+	// EvSLOAlert marks a multi-window burn-rate alert transition for a
+	// slice: Task=slice, Slot=window sequence, Core=server, A=fast-window
+	// burn rate in milli-units (1000 = burning exactly at budget),
+	// B=1 firing / 0 cleared.
+	EvSLOAlert
 	numEventKinds
 )
 
@@ -132,7 +141,7 @@ var eventKindNames = [numEventKinds]string{
 	"core_acquire", "core_awake", "core_yield", "core_rotate",
 	"sched_decision", "interference", "fault_inject", "fault_recover",
 	"predict_sample", "cell_admit", "cell_migrate", "cell_reject",
-	"device_reset", "reconcile", "batch_submit",
+	"device_reset", "reconcile", "batch_submit", "slo_window", "slo_alert",
 }
 
 // String implements fmt.Stringer.
@@ -259,6 +268,10 @@ type Options struct {
 	// SamplePeriod is the metrics time-series sampling interval; 0 lets the
 	// instrumented component choose (the pool samples once per slot).
 	SamplePeriod sim.Time
+	// SampleCapacity bounds the metrics time-series ring: only the most
+	// recent SampleCapacity rows are retained (<=0 selects
+	// DefaultSampleCapacity).
+	SampleCapacity int
 }
 
 // Recorder bundles the event tracer and the metrics registry that one
@@ -276,7 +289,7 @@ type Recorder struct {
 func New(opts Options) *Recorder {
 	return &Recorder{
 		Trace:        NewTracer(opts.TraceCapacity),
-		Metrics:      NewRegistry(),
+		Metrics:      NewRegistryCapacity(opts.SampleCapacity),
 		SamplePeriod: opts.SamplePeriod,
 	}
 }
